@@ -1,0 +1,132 @@
+//! Ablation benches (DESIGN.md A1–A6): queue depth, fragmentation,
+//! speculation, fallback limit, buffer size, and device queue policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix::{DeviceKind, Method, PlanConfig};
+use pathix_bench::{bench_options, build_db, build_db_with, run_cold, run_cold_with, Q6, Q7};
+use pathix_tree::Placement;
+
+fn bench_queue_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_queue_depth");
+    group.sample_size(10);
+    let db = build_db(0.1);
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                run_cold(
+                    &db,
+                    Q6,
+                    Method::XSchedule {
+                        k,
+                        speculative: false,
+                    },
+                )
+                .value
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_fragmentation");
+    group.sample_size(10);
+    for (name, placement) in [
+        ("sequential", Placement::Sequential),
+        ("chunk8", Placement::ChunkShuffled { chunk: 8, seed: 1 }),
+        ("shuffled", Placement::Shuffled { seed: 1 }),
+    ] {
+        let mut opts = bench_options();
+        opts.placement = placement;
+        let db = build_db_with(0.1, &opts);
+        group.bench_function(BenchmarkId::new("simple", name), |b| {
+            b.iter(|| run_cold(&db, Q6, Method::Simple).value)
+        });
+        group.bench_function(BenchmarkId::new("xschedule", name), |b| {
+            b.iter(|| run_cold(&db, Q6, Method::xschedule()).value)
+        });
+    }
+    group.finish();
+}
+
+fn bench_speculative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_speculative");
+    group.sample_size(10);
+    let db = build_db(0.1);
+    for speculative in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(speculative),
+            &speculative,
+            |b, &speculative| {
+                b.iter(|| {
+                    run_cold(
+                        &db,
+                        "/site/regions//item/../..",
+                        Method::XSchedule {
+                            k: 100,
+                            speculative,
+                        },
+                    )
+                    .value
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fallback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_fallback_limit");
+    group.sample_size(10);
+    let db = build_db(0.1);
+    for (name, limit) in [("unlimited", None), ("limit100", Some(100)), ("limit1", Some(1))]
+    {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut cfg = PlanConfig::new(Method::XScan);
+                cfg.mem_limit = limit;
+                run_cold_with(&db, Q7, &cfg).value
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a5_buffer_pages");
+    group.sample_size(10);
+    for pages in [10usize, 50, 200] {
+        let mut opts = bench_options();
+        opts.buffer_pages = pages;
+        let db = build_db_with(0.1, &opts);
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, _| {
+            b.iter(|| run_cold(&db, Q6, Method::Simple).value)
+        });
+    }
+    group.finish();
+}
+
+fn bench_device_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a6_device_policy");
+    group.sample_size(10);
+    for (name, kind) in [("sstf", DeviceKind::SimDisk), ("fifo", DeviceKind::SimDiskFifo)] {
+        let mut opts = bench_options();
+        opts.device = kind;
+        let db = build_db_with(0.1, &opts);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run_cold(&db, Q6, Method::xschedule()).value)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_depth,
+    bench_fragmentation,
+    bench_speculative,
+    bench_fallback,
+    bench_buffer,
+    bench_device_policy
+);
+criterion_main!(benches);

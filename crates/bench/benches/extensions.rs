@@ -1,0 +1,65 @@
+//! Benches for the paper-outlook extensions: multi-path shared scan,
+//! scan-based export, and the optimizer's estimation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathix::{Method, PlanConfig};
+use pathix_bench::{build_db, run_cold, Q7};
+use pathix_core::Optimizer;
+use pathix_storage::DiskProfile;
+
+fn bench_shared_scan(c: &mut Criterion) {
+    let db = build_db(0.1);
+    let mut group = c.benchmark_group("e7_q7");
+    group.sample_size(10);
+    group.bench_function("three_scans", |b| {
+        b.iter(|| run_cold(&db, Q7, Method::XScan).value)
+    });
+    group.bench_function("one_shared_scan", |b| {
+        b.iter(|| {
+            db.clear_buffers();
+            db.reset_device_stats();
+            db.run_multi(
+                &["/site//description", "/site//annotation", "/site//email"],
+                &PlanConfig::new(Method::XScan),
+            )
+            .unwrap()
+            .counts()
+            .iter()
+            .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_export(c: &mut Criterion) {
+    let db = build_db(0.05);
+    let mut group = c.benchmark_group("e8_export");
+    group.sample_size(10);
+    group.bench_function("structural_walk", |b| {
+        b.iter(|| {
+            db.clear_buffers();
+            db.export().len()
+        })
+    });
+    group.bench_function("sequential_scan", |b| {
+        b.iter(|| {
+            db.clear_buffers();
+            db.export_scan().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let db = build_db(0.1);
+    let path = pathix_xpath::parse_path("/site//description").unwrap().rooted();
+    c.bench_function("e9_estimate", |b| {
+        b.iter(|| {
+            let opt = Optimizer::new(&db.store().meta, DiskProfile::default());
+            opt.estimate(&path).touched_fraction
+        })
+    });
+}
+
+criterion_group!(benches, bench_shared_scan, bench_export, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 10 (XMark Q7): prose counts — the low-selectivity query where
+//! the sequential `XScan` plan wins by the paper's headline factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix::Method;
+use pathix_bench::{build_db, run_cold, Q7};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_q7");
+    group.sample_size(10);
+    for sf in [0.1, 0.25] {
+        let db = build_db(sf);
+        for method in [Method::Simple, Method::xschedule(), Method::XScan] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), sf),
+                &method,
+                |b, &m| b.iter(|| run_cold(&db, Q7, m).value),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

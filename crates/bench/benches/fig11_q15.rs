@@ -1,0 +1,25 @@
+//! Figure 11 (XMark Q15): the deep, highly selective chain — the query
+//! where scanning the whole document is a bad idea and `XSchedule` shines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathix::Method;
+use pathix_bench::{build_db, run_cold, Q15};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_q15");
+    group.sample_size(10);
+    for sf in [0.1, 0.25] {
+        let db = build_db(sf);
+        for method in [Method::Simple, Method::xschedule(), Method::XScan] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), sf),
+                &method,
+                |b, &m| b.iter(|| run_cold(&db, Q15, m).value),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

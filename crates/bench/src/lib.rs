@@ -1,0 +1,19 @@
+//! # pathix-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§6), plus the ablations listed in DESIGN.md.
+//!
+//! The `report` binary regenerates the artifacts:
+//!
+//! ```text
+//! cargo run --release -p pathix-bench --bin report -- all
+//! cargo run --release -p pathix-bench --bin report -- fig9 fig10 fig11 tab3 example1
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/` and wrap the same
+//! experiment functions.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

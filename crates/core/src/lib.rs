@@ -1,0 +1,37 @@
+//! # pathix-core
+//!
+//! The paper's primary contribution: a physical algebra for XPath location
+//! paths whose first-class citizens are **partial path instances** (§4), and
+//! whose operators separate cheap intra-cluster navigation from expensive
+//! inter-cluster I/O (§5).
+//!
+//! | Paper operator | Type |
+//! |----------------|------|
+//! | `XStep`        | [`ops::XStep`] — intra-cluster navigation per step |
+//! | `XAssembly`(^R)| [`ops::XAssembly`] — result filtering, duplicate elimination (`R`), speculative-instance matching (`S`) |
+//! | `XSchedule`(^R)| [`ops::XSchedule`] — pooled asynchronous cluster access |
+//! | `XScan`        | [`ops::XScan`] — single sequential scan with speculative evaluation |
+//! | Unnest-Map     | [`ops::UnnestMap`] — the baseline Simple method |
+//!
+//! [`plan`] compiles a [`pathix_xpath::LocationPath`] plus a [`plan::Method`]
+//! into an executable plan and runs it against a [`pathix_tree::TreeStore`],
+//! returning result nodes and a full cost report (simulated total time, CPU
+//! share, buffer and device statistics) — everything needed to regenerate
+//! the paper's figures and tables.
+
+pub mod concurrent;
+pub mod context;
+pub mod instance;
+pub mod multi;
+pub mod ops;
+pub mod optimizer;
+pub mod plan;
+pub mod report;
+
+pub use concurrent::{execute_interleaved, ConcurrentRun};
+pub use context::{CostParams, ExecCtx, ExecStats};
+pub use instance::{Pi, REnd};
+pub use multi::{execute_paths_shared_scan, MultiPathRun};
+pub use optimizer::{Optimizer, PlanEstimate};
+pub use plan::{execute_path, execute_query, Method, PlanConfig, PathRun, QueryRun};
+pub use report::ExecReport;

@@ -1,0 +1,490 @@
+//! Plan compilation and execution: a location path plus a [`Method`]
+//! becomes an operator tree, which is run to exhaustion and measured.
+//!
+//! This is the role of the paper's algebraic XPath compiler (§6.1), reduced
+//! to the three plan shapes the evaluation compares:
+//!
+//! * **Simple** — `ContextSource → UnnestMap* → DupElim`,
+//! * **XSchedule** — `ContextSource → XSchedule → XStep* → XAssembly`
+//!   (with the `Q` feedback edge),
+//! * **XScan** — `ContextSource → XScan → XStep* → XAssembly`.
+
+use crate::context::{CostParams, ExecCtx};
+use crate::instance::REnd;
+use crate::ops::{
+    ContextSource, Operator, SchedShared, UnnestMap, XAssembly, XScan, XSchedule, XStep,
+};
+use crate::report::{buffer_delta, device_delta, ExecReport};
+use pathix_tree::{NodeId, ResolvedTest, TreeStore};
+use pathix_xpath::{Axis, LocationPath, NodeTest, Query};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Which physical plan to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The baseline nested-loop method (§5.1).
+    Simple,
+    /// Asynchronous scheduling of cluster accesses (§5.3.4 / §5.4.4).
+    XSchedule {
+        /// Desired minimum queue size `k` (paper default 100).
+        k: usize,
+        /// Generate speculative instances to avoid cluster revisits.
+        speculative: bool,
+    },
+    /// One sequential scan over all clusters (§5.4.3).
+    XScan,
+}
+
+impl Method {
+    /// The paper's default XSchedule configuration (`k = 100`,
+    /// `speculative = false` — the configuration benchmarked in §6.2).
+    pub fn xschedule() -> Self {
+        Method::XSchedule {
+            k: 100,
+            speculative: false,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Simple => "Simple",
+            Method::XSchedule { .. } => "XSchedule",
+            Method::XScan => "XScan",
+        }
+    }
+}
+
+/// Plan options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Physical method.
+    pub method: Method,
+    /// Cost model.
+    pub costs: CostParams,
+    /// `S` memory limit (instances) before fallback; `None` = unlimited.
+    pub mem_limit: Option<usize>,
+    /// Sort results into document order (§5.5). Counts and aggregates do
+    /// not need it.
+    pub sort: bool,
+    /// Apply `//`-collapsing normalization before planning.
+    pub normalize: bool,
+}
+
+impl PlanConfig {
+    /// Default configuration for a method.
+    pub fn new(method: Method) -> Self {
+        Self {
+            method,
+            costs: CostParams::default(),
+            mem_limit: None,
+            sort: false,
+            normalize: true,
+        }
+    }
+}
+
+/// Result of one path execution.
+#[derive(Debug, Clone)]
+pub struct PathRun {
+    /// Distinct result nodes with their document-order keys. Sorted by
+    /// document order if the plan was configured with `sort`.
+    pub nodes: Vec<(NodeId, u64)>,
+    /// Measurements.
+    pub report: ExecReport,
+}
+
+/// Result of a query (count / sum-of-counts / node set).
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Numeric value (count) — for node-set queries, the result size.
+    pub value: u64,
+    /// Result nodes for plain path queries (empty for counts).
+    pub nodes: Vec<(NodeId, u64)>,
+    /// Aggregated measurements over all paths of the query.
+    pub report: ExecReport,
+}
+
+/// CPU cost charged per comparison when sorting results into document
+/// order.
+const SORT_CMP_NS: u64 = 30;
+
+/// §5.4.5.4: with a full scan of a path starting at the document root with
+/// `descendant-or-self::node()`, every end at step 1 may be treated as
+/// reachable. This is sound for *core* ends always, but speculative left
+/// ends are **borders**, and a border at step 1 is only guaranteed to be
+/// crossed when step 2 is a downward axis (a sideways axis such as
+/// `following-sibling` never crosses an edge that has no context on its
+/// near side). Restrict the shortcut accordingly.
+pub(crate) fn scan_all_reachable_step(path: &LocationPath) -> Option<u16> {
+    let first = path.steps.first()?;
+    let starts_dos = first.axis == Axis::DescendantOrSelf && first.test == NodeTest::AnyNode;
+    let second_ok = path
+        .steps
+        .get(1)
+        .map(|s| s.axis.is_downward())
+        .unwrap_or(true);
+    if starts_dos && second_ok {
+        Some(1)
+    } else {
+        None
+    }
+}
+
+/// Builds the operator tree for a (normalized) path — exposed for the
+/// concurrent executor.
+pub(crate) fn build_plan_public(
+    store: &TreeStore,
+    path: &LocationPath,
+    contexts: Vec<NodeId>,
+    method: Method,
+) -> Box<dyn Operator> {
+    build_plan(store, path, contexts, method)
+}
+
+fn build_plan(
+    store: &TreeStore,
+    path: &LocationPath,
+    contexts: Vec<NodeId>,
+    method: Method,
+) -> Box<dyn Operator> {
+    let len = path.steps.len() as u16;
+    let source: Box<dyn Operator> = Box::new(ContextSource::new(contexts.clone()));
+    match method {
+        Method::Simple => {
+            let mut op = source;
+            for (idx, step) in path.steps.iter().enumerate() {
+                let test = ResolvedTest::resolve(&step.test, &store.meta.symbols);
+                op = Box::new(UnnestMap::new(op, idx as u16 + 1, step.axis, test));
+            }
+            op
+        }
+        Method::XSchedule { k, speculative } => {
+            let shared = Rc::new(RefCell::new(SchedShared::default()));
+            let mut op: Box<dyn Operator> = Box::new(XSchedule::new(
+                source,
+                Rc::clone(&shared),
+                k,
+                speculative,
+                len,
+            ));
+            for (idx, step) in path.steps.iter().enumerate() {
+                let test = ResolvedTest::resolve(&step.test, &store.meta.symbols);
+                op = Box::new(XStep::new(op, idx as u16 + 1, step.axis, test));
+            }
+            Box::new(XAssembly::new(op, len, Some(shared), None))
+        }
+        Method::XScan => {
+            let pages = store.meta.page_range().collect();
+            let mut op: Box<dyn Operator> = Box::new(XScan::new(source, pages, len));
+            for (idx, step) in path.steps.iter().enumerate() {
+                let test = ResolvedTest::resolve(&step.test, &store.meta.symbols);
+                op = Box::new(XStep::new(op, idx as u16 + 1, step.axis, test));
+            }
+            let all_reachable = if contexts == [store.meta.root] {
+                scan_all_reachable_step(path)
+            } else {
+                None
+            };
+            Box::new(XAssembly::new(op, len, None, all_reachable))
+        }
+    }
+}
+
+/// Executes `path` from `contexts` with the given configuration.
+pub fn execute_path_from(
+    store: &TreeStore,
+    path: &LocationPath,
+    contexts: Vec<NodeId>,
+    cfg: &PlanConfig,
+) -> PathRun {
+    let path = if cfg.normalize {
+        path.normalize()
+    } else {
+        path.clone()
+    };
+    let cx = ExecCtx::new(store, cfg.costs, cfg.mem_limit);
+    let clock0 = store.clock().breakdown();
+    let buf0 = store.buffer.stats();
+    let dev0 = store.buffer.device_stats();
+
+    let mut plan = build_plan(store, &path, contexts, cfg.method);
+    let mut nodes: Vec<(NodeId, u64)> = Vec::new();
+    let mut dedup: HashSet<NodeId> = HashSet::new();
+    let simple = matches!(cfg.method, Method::Simple);
+    while let Some(p) = plan.next(&cx) {
+        let (id, order) = match &p.nr {
+            REnd::Done { id, order } => (*id, *order),
+            REnd::Core {
+                cluster,
+                slot,
+                order,
+            } => (cluster.id(*slot), *order),
+            // Zero-step Simple plans emit the raw context instances.
+            REnd::Cold { id, .. } => {
+                let cluster = store.fix(id.page);
+                (*id, cluster.node(id.slot).order)
+            }
+            other => panic!("unexpected plan output end: {other:?}"),
+        };
+        if simple {
+            // Final duplicate elimination of the Simple method (§5.1).
+            cx.charge_set_op();
+            if !dedup.insert(id) {
+                continue;
+            }
+        }
+        nodes.push((id, order));
+    }
+    drop(plan);
+
+    if cfg.sort {
+        // §5.5: reordered evaluation needs a final sort into document order.
+        let n = nodes.len() as u64;
+        if n > 1 {
+            store
+                .clock()
+                .charge_cpu(SORT_CMP_NS * n * (64 - n.leading_zeros() as u64));
+        }
+        nodes.sort_by_key(|&(_, order)| order);
+    }
+
+    let report = ExecReport {
+        method: cfg.method.label().to_owned(),
+        time: store.clock().breakdown().since(&clock0),
+        buffer: buffer_delta(store.buffer.stats(), buf0),
+        device: device_delta(store.buffer.device_stats(), dev0),
+        nodes_visited: cx.nav_counters.nodes_visited.get(),
+        node_tests: cx.nav_counters.node_tests.get(),
+        borders: cx.nav_counters.borders.get(),
+        instances: cx.stats.instances.get(),
+        results: nodes.len() as u64,
+        r_inserts: cx.stats.r_inserts.get(),
+        s_inserts: cx.stats.s_inserts.get(),
+        s_peak: cx.stats.s_peak.get(),
+        q_pushes: cx.stats.q_pushes.get(),
+        speculative_generated: cx.stats.speculative_generated.get(),
+        fallback: cx.stats.fallback_entered.get(),
+    };
+    PathRun { nodes, report }
+}
+
+/// Executes `path` from the document root.
+pub fn execute_path(store: &TreeStore, path: &LocationPath, cfg: &PlanConfig) -> PathRun {
+    execute_path_from(store, path, vec![store.meta.root], cfg)
+}
+
+/// Executes a query (path, count, or sum of counts) from the document root.
+pub fn execute_query(store: &TreeStore, query: &Query, cfg: &PlanConfig) -> QueryRun {
+    match query {
+        Query::Path(p) => {
+            let run = execute_path(store, p, cfg);
+            QueryRun {
+                value: run.nodes.len() as u64,
+                nodes: run.nodes,
+                report: run.report,
+            }
+        }
+        Query::Count(p) => {
+            // Counting never needs document order (§5.5).
+            let mut c = *cfg;
+            c.sort = false;
+            let run = execute_path(store, p, &c);
+            QueryRun {
+                value: run.nodes.len() as u64,
+                nodes: Vec::new(),
+                report: run.report,
+            }
+        }
+        Query::Sum(qs) => {
+            let mut value = 0u64;
+            let mut report = ExecReport {
+                method: cfg.method.label().to_owned(),
+                ..Default::default()
+            };
+            for q in qs {
+                let r = execute_query(store, q, cfg);
+                value += r.value;
+                report.absorb(&r.report);
+            }
+            QueryRun {
+                value,
+                nodes: Vec::new(),
+                report,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{mem_store, sample_doc};
+    use pathix_tree::Placement;
+    use pathix_xpath::{parse_path, parse_query};
+
+    fn all_methods() -> [Method; 4] {
+        [
+            Method::Simple,
+            Method::xschedule(),
+            Method::XSchedule {
+                k: 10,
+                speculative: true,
+            },
+            Method::XScan,
+        ]
+    }
+
+    fn reference(doc: &pathix_xml::Document, path: &str) -> Vec<u64> {
+        let ranks = doc.preorder_ranks();
+        pathix_xpath::eval_path(doc, doc.root(), &parse_path(path).unwrap())
+            .iter()
+            .map(|n| pathix_tree::node::order_key(ranks[n.0 as usize]))
+            .collect()
+    }
+
+    #[test]
+    fn all_methods_agree_with_reference() {
+        let doc = sample_doc();
+        for placement in [
+            Placement::Sequential,
+            Placement::Shuffled { seed: 11 },
+            Placement::Strided { stride: 3 },
+        ] {
+            for path in [
+                "/regions//item",
+                "//email",
+                "/regions/eu/item/name",
+                "//item/..",
+                "//name/text()",
+                "//item/ancestor-or-self::*",
+            ] {
+                let want = reference(&doc, path);
+                for method in all_methods() {
+                    let store = mem_store(&doc, 256, placement);
+                    let mut cfg = PlanConfig::new(method);
+                    cfg.sort = true;
+                    let run = execute_path(&store, &parse_path(path).unwrap(), &cfg);
+                    let got: Vec<u64> = run.nodes.iter().map(|&(_, o)| o).collect();
+                    assert_eq!(
+                        got, want,
+                        "mismatch: path {path}, method {method:?}, {placement:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_duplicate_free_and_sorted() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 7 });
+        let mut cfg = PlanConfig::new(Method::XScan);
+        cfg.sort = true;
+        let run = execute_path(&store, &parse_path("//item").unwrap(), &cfg);
+        let orders: Vec<u64> = run.nodes.iter().map(|&(_, o)| o).collect();
+        let mut sorted = orders.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(orders, sorted);
+    }
+
+    #[test]
+    fn count_query_sums() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Sequential);
+        let q = parse_query("count(//item)+count(//email)").unwrap();
+        let cfg = PlanConfig::new(Method::xschedule());
+        let run = execute_query(&store, &q, &cfg);
+        let want = pathix_xpath::eval_query(&doc, doc.root(), &q).as_number();
+        assert_eq!(run.value, want);
+        assert_eq!(run.report.method, "XSchedule");
+    }
+
+    #[test]
+    fn empty_path_returns_context() {
+        let doc = sample_doc();
+        for method in all_methods() {
+            let store = mem_store(&doc, 256, Placement::Sequential);
+            let run = execute_path(
+                &store,
+                &parse_path("/").unwrap(),
+                &PlanConfig::new(method),
+            );
+            assert_eq!(run.nodes.len(), 1, "{method:?}");
+            assert_eq!(run.nodes[0].0, store.meta.root);
+        }
+    }
+
+    #[test]
+    fn xscan_reads_every_page_once_methods_differ_in_io() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 3 });
+        let pages = store.meta.page_count as u64;
+        let run = execute_path(
+            &store,
+            &parse_path("//email").unwrap(),
+            &PlanConfig::new(Method::XScan),
+        );
+        assert_eq!(run.report.device.reads, pages, "XScan reads each page once");
+        // A fresh store for the Simple method (cold buffer).
+        let store2 = mem_store(&doc, 256, Placement::Shuffled { seed: 3 });
+        let run2 = execute_path(
+            &store2,
+            &parse_path("//email").unwrap(),
+            &PlanConfig::new(Method::Simple),
+        );
+        assert_eq!(run.nodes.len(), run2.nodes.len());
+    }
+
+    #[test]
+    fn fallback_still_correct() {
+        let doc = sample_doc();
+        let want = reference(&doc, "//item");
+        for method in [Method::xschedule(), Method::XScan] {
+            let store = mem_store(&doc, 256, Placement::Shuffled { seed: 5 });
+            let mut cfg = PlanConfig::new(method);
+            cfg.mem_limit = Some(1); // force fallback almost immediately
+            cfg.sort = true;
+            let run = execute_path(&store, &parse_path("//item").unwrap(), &cfg);
+            let got: Vec<u64> = run.nodes.iter().map(|&(_, o)| o).collect();
+            assert_eq!(got, want, "fallback correctness for {method:?}");
+        }
+    }
+
+    #[test]
+    fn fallback_flag_reported() {
+        // A shuffled layout scans some clusters before the cluster of the
+        // context node, so speculative instances must be parked in S —
+        // with a zero memory limit the first parked instance flips the
+        // plan into fallback mode.
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 2 });
+        let mut cfg = PlanConfig::new(Method::XScan);
+        cfg.mem_limit = Some(0);
+        let run = execute_path(&store, &parse_path("//item").unwrap(), &cfg);
+        assert!(run.report.fallback);
+    }
+
+    #[test]
+    fn speculative_xschedule_visits_each_cluster_once() {
+        // With speculative on, re-entrant paths must not re-read clusters:
+        // device reads ≤ number of pages.
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 13 });
+        let cfg = PlanConfig::new(Method::XSchedule {
+            k: 100,
+            speculative: true,
+        });
+        let run = execute_path(&store, &parse_path("//item/..//name").unwrap(), &cfg);
+        assert!(
+            run.report.device.reads <= store.meta.page_count as u64,
+            "speculative XSchedule must not reread clusters: {} reads vs {} pages",
+            run.report.device.reads,
+            store.meta.page_count
+        );
+        assert!(run.report.speculative_generated > 0);
+    }
+}

@@ -1,0 +1,579 @@
+//! Buffer manager caching *decoded* page representations.
+//!
+//! Natix-style XML engines keep two representations of a page: the on-disk
+//! byte image and a decoded main-memory object ("dual buffering", Kemper &
+//! Kossmann). pathix caches the decoded object: on a miss the page bytes are
+//! fetched from the device and passed through a [`PageDecoder`], and the cost
+//! of that representation change is charged to the clock by the decoder.
+//!
+//! *Fixing* a resident page still costs a hash-table lookup plus latch
+//! (`fix_hit_ns`) — the "swizzling" cost the paper minimizes by passing
+//! direct pointers between `XStep` operators. Callers hold a decoded page as
+//! an `Arc`, which doubles as the pin: frames with outstanding references are
+//! never evicted. Eviction uses the CLOCK (second chance) policy.
+
+use crate::clock::SimClock;
+use crate::device::{Device, DeviceStats, PageId};
+use std::cell::{Cell, RefCell, RefMut};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Turns raw page bytes into the cached in-memory representation.
+pub trait PageDecoder<T> {
+    /// Decodes `bytes` of `page`, charging representation-change CPU cost to
+    /// `clock`.
+    fn decode(&self, page: PageId, bytes: &[u8], clock: &SimClock) -> T;
+}
+
+impl<T, F: Fn(PageId, &[u8], &SimClock) -> T> PageDecoder<T> for F {
+    fn decode(&self, page: PageId, bytes: &[u8], clock: &SimClock) -> T {
+        self(page, bytes, clock)
+    }
+}
+
+/// Buffer-manager tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferParams {
+    /// Number of page frames.
+    pub capacity: usize,
+    /// CPU cost of fixing a resident page (page-table lookup + latch).
+    pub fix_hit_ns: u64,
+    /// Extra CPU overhead of handling a miss (frame allocation, bookkeeping),
+    /// excluding device time and decode time.
+    pub miss_overhead_ns: u64,
+}
+
+impl Default for BufferParams {
+    fn default() -> Self {
+        Self {
+            capacity: 1000, // the paper's Natix configuration
+            fix_hit_ns: 2_500,
+            miss_overhead_ns: 12_000,
+        }
+    }
+}
+
+/// Cumulative buffer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Total fix calls.
+    pub fixes: u64,
+    /// Fixes served from the buffer.
+    pub hits: u64,
+    /// Fixes that required a device read.
+    pub misses: u64,
+    /// Pages decoded after asynchronous completion.
+    pub async_loads: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+    /// Prefetch requests submitted to the device.
+    pub prefetches: u64,
+    /// Times the buffer had to exceed its configured capacity because every
+    /// frame was pinned.
+    pub capacity_overflows: u64,
+}
+
+impl BufferStats {
+    /// Buffer hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.fixes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.fixes as f64
+        }
+    }
+}
+
+struct Frame<T> {
+    page: PageId,
+    data: Arc<T>,
+    referenced: bool,
+}
+
+struct FrameTable<T> {
+    map: HashMap<PageId, usize>,
+    slots: Vec<Option<Frame<T>>>,
+    hand: usize,
+}
+
+impl<T> FrameTable<T> {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+        }
+    }
+
+    fn get(&mut self, page: PageId) -> Option<Arc<T>> {
+        let &i = self.map.get(&page)?;
+        let f = self.slots[i].as_mut().expect("mapped frame exists");
+        f.referenced = true;
+        Some(Arc::clone(&f.data))
+    }
+
+    fn resident(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Finds a victim slot via CLOCK sweep; `None` if every frame is pinned.
+    fn find_victim(&mut self) -> Option<usize> {
+        let n = self.slots.len();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..2 * n {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let Some(f) = self.slots[i].as_mut() else {
+                return Some(i);
+            };
+            if Arc::strong_count(&f.data) > 1 {
+                continue; // pinned
+            }
+            if f.referenced {
+                f.referenced = false;
+            } else {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, page: PageId, data: Arc<T>, capacity: usize) -> InsertOutcome {
+        debug_assert!(!self.map.contains_key(&page), "page already resident");
+        let mut outcome = InsertOutcome::default();
+        let slot = if self.slots.len() < capacity {
+            self.slots.push(None);
+            self.slots.len() - 1
+        } else {
+            match self.find_victim() {
+                Some(i) => {
+                    if let Some(old) = self.slots[i].take() {
+                        self.map.remove(&old.page);
+                        outcome.evicted = true;
+                    }
+                    i
+                }
+                None => {
+                    outcome.overflowed = true;
+                    self.slots.push(None);
+                    self.slots.len() - 1
+                }
+            }
+        };
+        self.slots[slot] = Some(Frame {
+            page,
+            data,
+            referenced: true,
+        });
+        self.map.insert(page, slot);
+        outcome
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.hand = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[derive(Default)]
+struct InsertOutcome {
+    evicted: bool,
+    overflowed: bool,
+}
+
+/// The buffer manager. `T` is the decoded page type, `D` its decoder.
+pub struct BufferManager<T, D> {
+    device: RefCell<Box<dyn Device>>,
+    decoder: D,
+    params: Cell<BufferParams>,
+    frames: RefCell<FrameTable<T>>,
+    submitted: RefCell<HashSet<PageId>>,
+    clock: Rc<SimClock>,
+    stats: RefCell<BufferStats>,
+}
+
+impl<T, D: PageDecoder<T>> BufferManager<T, D> {
+    /// Creates a buffer manager over `device`.
+    pub fn new(device: Box<dyn Device>, decoder: D, params: BufferParams, clock: Rc<SimClock>) -> Self {
+        Self {
+            device: RefCell::new(device),
+            decoder,
+            params: Cell::new(params),
+            frames: RefCell::new(FrameTable::new()),
+            submitted: RefCell::new(HashSet::new()),
+            clock,
+            stats: RefCell::new(BufferStats::default()),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// A clone of the shared clock handle.
+    pub fn clock_rc(&self) -> Rc<SimClock> {
+        Rc::clone(&self.clock)
+    }
+
+    /// Current parameters.
+    pub fn params(&self) -> BufferParams {
+        self.params.get()
+    }
+
+    /// Replaces the parameters (e.g. to shrink capacity between runs).
+    /// Does not immediately evict frames above the new capacity.
+    pub fn set_params(&self, params: BufferParams) {
+        self.params.set(params);
+    }
+
+    /// Mutable access to the underlying device (for database construction
+    /// and statistics control).
+    pub fn device_mut(&self) -> RefMut<'_, Box<dyn Device>> {
+        self.device.borrow_mut()
+    }
+
+    /// Number of pages on the device.
+    pub fn num_pages(&self) -> u32 {
+        self.device.borrow().num_pages()
+    }
+
+    /// Fixes a page, loading and decoding it if necessary.
+    ///
+    /// If the page was prefetched, blocks only until its asynchronous read
+    /// completes (absorbing other completions along the way).
+    pub fn fix(&self, page: PageId) -> Arc<T> {
+        let p = self.params.get();
+        self.clock.charge_cpu(p.fix_hit_ns);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.fixes += 1;
+        }
+        if let Some(data) = self.frames.borrow_mut().get(page) {
+            self.stats.borrow_mut().hits += 1;
+            return data;
+        }
+        // Was it prefetched? Then drain completions until it arrives.
+        if self.submitted.borrow().contains(&page) {
+            loop {
+                let c = self
+                    .device
+                    .borrow_mut()
+                    .poll(&self.clock, true)
+                    .expect("submitted page must complete");
+                let done = c.page == page;
+                self.install_completion(c.page, &c.bytes);
+                if done {
+                    self.stats.borrow_mut().misses += 1;
+                    return self
+                        .frames
+                        .borrow_mut()
+                        .get(page)
+                        .expect("just installed");
+                }
+            }
+        }
+        // Cold miss: synchronous read.
+        self.stats.borrow_mut().misses += 1;
+        self.clock.charge_cpu(p.miss_overhead_ns);
+        let bytes = self.device.borrow_mut().read_sync(page, &self.clock);
+        let data = Arc::new(self.decoder.decode(page, &bytes, &self.clock));
+        self.insert(page, Arc::clone(&data));
+        data
+    }
+
+    /// Submits an asynchronous read for `page` unless it is already resident
+    /// or in flight.
+    pub fn prefetch(&self, page: PageId) {
+        if self.frames.borrow().resident(page) || self.submitted.borrow().contains(&page) {
+            return;
+        }
+        self.stats.borrow_mut().prefetches += 1;
+        self.submitted.borrow_mut().insert(page);
+        self.device.borrow_mut().submit(page, &self.clock);
+    }
+
+    /// Retrieves one prefetched page that has completed, decoding and caching
+    /// it. With `block = true` waits for a completion; returns `None` only
+    /// when nothing is in flight.
+    pub fn fix_any_prefetched(&self, block: bool) -> Option<(PageId, Arc<T>)> {
+        let c = self.device.borrow_mut().poll(&self.clock, block)?;
+        let data = self.install_completion(c.page, &c.bytes);
+        Some((c.page, data))
+    }
+
+    /// Number of prefetches still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.device.borrow().in_flight()
+    }
+
+    fn install_completion(&self, page: PageId, bytes: &[u8]) -> Arc<T> {
+        self.submitted.borrow_mut().remove(&page);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.async_loads += 1;
+        }
+        let p = self.params.get();
+        self.clock.charge_cpu(p.miss_overhead_ns);
+        if let Some(existing) = self.frames.borrow_mut().get(page) {
+            // Raced with a synchronous fix; keep the existing frame.
+            return existing;
+        }
+        let data = Arc::new(self.decoder.decode(page, bytes, &self.clock));
+        self.insert(page, Arc::clone(&data));
+        data
+    }
+
+    fn insert(&self, page: PageId, data: Arc<T>) {
+        let outcome = self
+            .frames
+            .borrow_mut()
+            .insert(page, data, self.params.get().capacity.max(1));
+        let mut st = self.stats.borrow_mut();
+        if outcome.evicted {
+            st.evictions += 1;
+        }
+        if outcome.overflowed {
+            st.capacity_overflows += 1;
+        }
+    }
+
+    /// Drops `page` from the cache (after an in-place page update).
+    ///
+    /// # Panics
+    /// Panics if the frame is pinned — mutating a page somebody still
+    /// navigates would corrupt their view.
+    pub fn invalidate(&self, page: PageId) {
+        let mut frames = self.frames.borrow_mut();
+        if let Some(&i) = frames.map.get(&page) {
+            let pinned = frames.slots[i]
+                .as_ref()
+                .map(|f| Arc::strong_count(&f.data) > 1)
+                .unwrap_or(false);
+            assert!(!pinned, "invalidating pinned page {page}");
+            frames.slots[i] = None;
+            frames.map.remove(&page);
+        }
+    }
+
+    /// True if `page` is currently cached.
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.frames.borrow().resident(page)
+    }
+
+    /// Number of cached pages.
+    pub fn resident_pages(&self) -> usize {
+        self.frames.borrow().len()
+    }
+
+    /// Buffer statistics.
+    pub fn stats(&self) -> BufferStats {
+        *self.stats.borrow()
+    }
+
+    /// Device statistics.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.borrow().stats()
+    }
+
+    /// Clears the cache and resets buffer statistics (device stats are left
+    /// untouched; use [`Self::device_mut`] for those). Pending prefetches are
+    /// drained and discarded.
+    pub fn reset(&self) {
+        while self.in_flight() > 0 {
+            let _ = self.device.borrow_mut().poll(&self.clock, true);
+        }
+        self.submitted.borrow_mut().clear();
+        self.frames.borrow_mut().clear();
+        *self.stats.borrow_mut() = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_device::MemDevice;
+    use crate::sim_disk::{DiskProfile, SimDisk};
+
+    /// Decoder that records the first byte of the page.
+    struct FirstByte;
+    impl PageDecoder<u8> for FirstByte {
+        fn decode(&self, _page: PageId, bytes: &[u8], clock: &SimClock) -> u8 {
+            clock.charge_cpu(10);
+            bytes[0]
+        }
+    }
+
+    fn mk_buffer(pages: u32, capacity: usize) -> BufferManager<u8, FirstByte> {
+        let mut dev = MemDevice::new(16);
+        for i in 0..pages {
+            dev.append_page(vec![i as u8]);
+        }
+        let clock = Rc::new(SimClock::new());
+        BufferManager::new(
+            Box::new(dev),
+            FirstByte,
+            BufferParams {
+                capacity,
+                fix_hit_ns: 100,
+                miss_overhead_ns: 0,
+            },
+            clock,
+        )
+    }
+
+    #[test]
+    fn fix_hits_after_first_load() {
+        let b = mk_buffer(4, 4);
+        assert_eq!(*b.fix(2), 2);
+        assert_eq!(*b.fix(2), 2);
+        let s = b.stats();
+        assert_eq!(s.fixes, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_happens_at_capacity() {
+        let b = mk_buffer(10, 2);
+        b.fix(0);
+        b.fix(1);
+        b.fix(2); // evicts one of 0/1
+        assert_eq!(b.resident_pages(), 2);
+        assert_eq!(b.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction() {
+        let b = mk_buffer(10, 2);
+        let pinned = b.fix(0);
+        b.fix(1);
+        b.fix(2);
+        b.fix(3);
+        // Page 0 is pinned by `pinned` and must still be resident.
+        assert!(b.is_resident(0));
+        assert_eq!(*pinned, 0);
+    }
+
+    #[test]
+    fn all_pinned_overflows_capacity() {
+        let b = mk_buffer(10, 2);
+        let _p0 = b.fix(0);
+        let _p1 = b.fix(1);
+        let _p2 = b.fix(2);
+        assert!(b.stats().capacity_overflows >= 1);
+        assert_eq!(b.resident_pages(), 3);
+    }
+
+    #[test]
+    fn prefetch_then_fix_uses_async_path() {
+        let b = mk_buffer(10, 4);
+        b.prefetch(5);
+        assert_eq!(b.in_flight(), 1);
+        assert_eq!(*b.fix(5), 5);
+        let s = b.stats();
+        assert_eq!(s.prefetches, 1);
+        assert_eq!(s.async_loads, 1);
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn prefetch_resident_is_noop() {
+        let b = mk_buffer(10, 4);
+        b.fix(3);
+        b.prefetch(3);
+        assert_eq!(b.stats().prefetches, 0);
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_prefetch_submits_once() {
+        let b = mk_buffer(10, 4);
+        b.prefetch(7);
+        b.prefetch(7);
+        assert_eq!(b.stats().prefetches, 1);
+        assert_eq!(b.in_flight(), 1);
+    }
+
+    #[test]
+    fn fix_any_prefetched_returns_each_once() {
+        let b = mk_buffer(10, 8);
+        b.prefetch(1);
+        b.prefetch(4);
+        let mut got = Vec::new();
+        while let Some((p, v)) = b.fix_any_prefetched(true) {
+            assert_eq!(p as u8, *v);
+            got.push(p);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 4]);
+    }
+
+    #[test]
+    fn decode_cost_charged_once_per_load() {
+        let b = mk_buffer(4, 4);
+        let cpu0 = b.clock().cpu_ns();
+        b.fix(0);
+        b.fix(0);
+        // 2 fixes * fix_hit(100) + 1 decode * 10
+        assert_eq!(b.clock().cpu_ns() - cpu0, 210);
+    }
+
+    #[test]
+    fn invalidate_drops_unpinned_frame() {
+        let b = mk_buffer(4, 4);
+        b.fix(1);
+        assert!(b.is_resident(1));
+        b.invalidate(1);
+        assert!(!b.is_resident(1));
+        b.invalidate(2); // absent page: no-op
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned")]
+    fn invalidate_pinned_panics() {
+        let b = mk_buffer(4, 4);
+        let _pin = b.fix(1);
+        b.invalidate(1);
+    }
+
+    #[test]
+    fn reset_clears_cache_and_stats() {
+        let b = mk_buffer(6, 4);
+        b.fix(0);
+        b.prefetch(1);
+        b.reset();
+        assert_eq!(b.resident_pages(), 0);
+        assert_eq!(b.stats(), BufferStats::default());
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn works_over_sim_disk_with_time() {
+        let mut disk = SimDisk::with_profile(32, DiskProfile::default());
+        for i in 0..5u8 {
+            disk.append_page(vec![i]);
+        }
+        let clock = Rc::new(SimClock::new());
+        let b = BufferManager::new(
+            Box::new(disk),
+            FirstByte,
+            BufferParams::default(),
+            Rc::clone(&clock),
+        );
+        b.fix(3);
+        assert!(clock.io_wait_ns() > 0, "sync miss must wait on the disk");
+        let wait = clock.io_wait_ns();
+        b.fix(3);
+        assert_eq!(clock.io_wait_ns(), wait, "hit must not touch the disk");
+    }
+}

@@ -1,0 +1,127 @@
+//! The storage device abstraction: synchronous reads plus an asynchronous
+//! submit/poll interface.
+//!
+//! The paper isolates all I/O for a location path in a single operator
+//! (`XSchedule`/`XScan`) precisely so that requests can be *batched* and
+//! handed to lower system layers, which reorder them based on physical
+//! knowledge. [`Device::submit`] / [`Device::poll`] model that interface:
+//! the caller queues any number of page requests and retrieves completions
+//! in whatever order the device found cheapest.
+
+use crate::clock::SimClock;
+
+/// Identifier of a physical page on a device. Pages are numbered from zero in
+/// physical (platter) order, so the distance between two `PageId`s is a proxy
+/// for seek distance.
+pub type PageId = u32;
+
+/// A completed asynchronous read.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The page that was read.
+    pub page: PageId,
+    /// Raw page bytes.
+    pub bytes: Vec<u8>,
+    /// Simulated time at which the device finished the read.
+    pub finished_at_ns: u64,
+}
+
+/// Cumulative device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Total page reads served (sync + async).
+    pub reads: u64,
+    /// Reads that were physically sequential (previous page + 1).
+    pub sequential_reads: u64,
+    /// Reads that required head movement.
+    pub random_reads: u64,
+    /// Sum of absolute head movement, in pages.
+    pub seek_distance_pages: u64,
+    /// Total simulated nanoseconds the device spent busy.
+    pub busy_ns: u64,
+}
+
+impl DeviceStats {
+    /// Fraction of reads that were sequential, in `[0, 1]`.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.sequential_reads as f64 / self.reads as f64
+        }
+    }
+}
+
+/// A block storage device holding fixed-size pages.
+///
+/// All methods take the shared [`SimClock`]; simulated devices advance it
+/// when the caller blocks, real devices charge measured wall time.
+pub trait Device {
+    /// Number of pages on the device.
+    fn num_pages(&self) -> u32;
+
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Reads a page synchronously, blocking the clock for the access cost.
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Vec<u8>;
+
+    /// Submits an asynchronous read request. The device may serve queued
+    /// requests in any order.
+    fn submit(&mut self, page: PageId, clock: &SimClock);
+
+    /// Retrieves one completed asynchronous read.
+    ///
+    /// With `block = true`, waits (advancing the clock) until a request
+    /// completes; returns `None` only if no requests are pending.
+    /// With `block = false`, returns `None` if nothing has completed by the
+    /// current simulated time.
+    fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion>;
+
+    /// Number of submitted but not yet retrieved requests (pending plus
+    /// completed-but-unpolled).
+    fn in_flight(&self) -> usize;
+
+    /// Appends a page, returning its id. Used when building a database.
+    fn append_page(&mut self, bytes: Vec<u8>) -> PageId;
+
+    /// Overwrites an existing page.
+    fn write_page(&mut self, page: PageId, bytes: Vec<u8>);
+
+    /// Cumulative statistics.
+    fn stats(&self) -> DeviceStats;
+
+    /// Resets statistics (not contents or head position).
+    fn reset_stats(&mut self);
+
+    /// Returns the recorded page-access trace, if tracing is enabled.
+    /// The default implementation returns an empty slice.
+    fn access_trace(&self) -> &[PageId] {
+        &[]
+    }
+
+    /// Enables or disables access-order tracing (used by the Example 1
+    /// reproduction to show the page access order of each plan).
+    fn set_trace(&mut self, _enabled: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fraction_empty() {
+        assert_eq!(DeviceStats::default().sequential_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sequential_fraction_half() {
+        let s = DeviceStats {
+            reads: 4,
+            sequential_reads: 2,
+            random_reads: 2,
+            ..Default::default()
+        };
+        assert!((s.sequential_fraction() - 0.5).abs() < 1e-12);
+    }
+}

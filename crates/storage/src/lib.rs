@@ -1,0 +1,43 @@
+//! # pathix-storage
+//!
+//! Paged storage substrate for the pathix XPath engine: storage devices with
+//! an explicit physical cost model, an asynchronous I/O interface, and a
+//! buffer manager that caches *decoded* page representations.
+//!
+//! The paper ("Cost-Sensitive Reordering of Navigational Primitives",
+//! SIGMOD 2005) evaluates on a real disk. This crate substitutes a
+//! deterministic simulated disk ([`SimDisk`]) that preserves the three I/O
+//! regimes that drive the paper's results:
+//!
+//! 1. **random synchronous reads** — every request pays seek + rotational
+//!    latency + transfer,
+//! 2. **asynchronous batched reads** — the device is free to reorder queued
+//!    commands (shortest-seek-first or elevator sweeps, modelling SCSI
+//!    TCQ/NCQ), shrinking total head movement,
+//! 3. **sequential scans** — consecutive pages pay transfer cost only.
+//!
+//! A real-file backend ([`FileDevice`]) with a thread-pool async engine is
+//! provided for authenticity experiments, and [`MemDevice`] offers a zero-cost
+//! device for unit tests.
+//!
+//! Time is tracked on a [`SimClock`] in nanoseconds, split into CPU time and
+//! I/O wait so that the paper's Table 3 (total vs. CPU time) can be
+//! regenerated.
+
+pub mod buffer;
+pub mod clock;
+pub mod device;
+pub mod file_device;
+pub mod mem_device;
+pub mod sim_disk;
+pub mod slotted;
+pub mod wal;
+
+pub use buffer::{BufferManager, BufferParams, BufferStats, PageDecoder};
+pub use clock::{SimClock, TimeBreakdown};
+pub use device::{Completion, Device, DeviceStats, PageId};
+pub use file_device::FileDevice;
+pub use mem_device::MemDevice;
+pub use sim_disk::{DiskProfile, QueuePolicy, SimDisk};
+pub use slotted::{SlottedPageBuilder, SlottedPageReader};
+pub use wal::{recover, Lsn, SnapshotDevice, SnapshotHandle, WalRecord, WriteAheadLog};

@@ -1,0 +1,689 @@
+//! Deterministic simulated disk with seek/rotation/transfer cost model and a
+//! reordering command queue.
+//!
+//! This is the substitution for the paper's physical test disk. The model
+//! captures what matters for the paper's experiments:
+//!
+//! * a **synchronous random read** pays `seek(distance) + rotational latency
+//!   + transfer`,
+//! * a **sequential read** (previous page + 1) pays transfer only —
+//!   the regime the `XScan` operator exploits,
+//! * **queued asynchronous requests** are served in an order the *device*
+//!   chooses (shortest-seek-first or an elevator sweep), modelling the
+//!   reordering performed by the OS scheduler and on-disk controllers
+//!   (SCSI TCQ / SATA NCQ) that the `XSchedule` operator delegates to.
+//!
+//! The device runs "in the background": requests submitted while the CPU is
+//! busy complete during that CPU time and do not stall the caller — this is
+//! what makes asynchronous plans overlap computation and I/O.
+
+use crate::clock::SimClock;
+use crate::device::{Completion, Device, DeviceStats, PageId};
+
+/// Physical cost parameters of the simulated disk, in nanoseconds.
+///
+/// Defaults approximate a 2005-era 7200 rpm drive with 8 KiB pages:
+/// average full access ≈ 6–9 ms, sequential transfer ≈ 133 µs/page
+/// (~60 MB/s).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskProfile {
+    /// Fixed cost of starting any head movement.
+    pub seek_base_ns: u64,
+    /// Seek cost coefficient: `seek = seek_base + coef * sqrt(distance)`.
+    pub seek_sqrt_coef_ns: u64,
+    /// Upper bound on seek time (full-stroke seek).
+    pub seek_max_ns: u64,
+    /// Average rotational latency paid on every non-sequential access.
+    pub rotational_ns: u64,
+    /// Per-page transfer time.
+    pub transfer_ns: u64,
+    /// Fixed command overhead per request (controller processing).
+    pub command_overhead_ns: u64,
+    /// Maximum number of queued commands visible to the reordering logic
+    /// (models NCQ/TCQ queue depth). `0` means unlimited.
+    pub queue_depth: usize,
+}
+
+impl Default for DiskProfile {
+    fn default() -> Self {
+        Self {
+            seek_base_ns: 800_000,        // 0.8 ms settle
+            seek_sqrt_coef_ns: 72_000,    // ≈ 8 ms at distance 10_000 pages
+            seek_max_ns: 9_000_000,       // 9 ms full stroke
+            rotational_ns: 3_000_000,     // ~7200 rpm average
+            transfer_ns: 133_000,         // 8 KiB at ~60 MB/s
+            command_overhead_ns: 20_000,  // 20 µs controller overhead
+            queue_depth: 0,
+        }
+    }
+}
+
+impl DiskProfile {
+    /// A profile with zero latency everywhere — useful for logic tests.
+    pub fn instant() -> Self {
+        Self {
+            seek_base_ns: 0,
+            seek_sqrt_coef_ns: 0,
+            seek_max_ns: 0,
+            rotational_ns: 0,
+            transfer_ns: 0,
+            command_overhead_ns: 0,
+            queue_depth: 0,
+        }
+    }
+
+    /// Cost of accessing `page` when the head sits at `head` (the position
+    /// just past the previously read page).
+    pub fn access_cost_ns(&self, head: PageId, page: PageId) -> u64 {
+        self.access_cost_queued_ns(head, page, 0)
+    }
+
+    /// Cost of accessing `page` with `queued` other commands visible to the
+    /// controller. Deep queues shrink the *expected rotational delay*: a
+    /// controller doing shortest-positioning-time-first picks a request
+    /// whose sector is about to pass under the head, so with `n` uniformly
+    /// distributed queued requests the expected delay is ≈ `T_rot/(n+1)`
+    /// — the mechanism behind SCSI TCQ / SATA NCQ gains the paper's
+    /// `XSchedule` delegates to (§3.7).
+    pub fn access_cost_queued_ns(&self, head: PageId, page: PageId, queued: usize) -> u64 {
+        if page == head {
+            // Physically sequential: no seek, no rotational delay.
+            self.command_overhead_ns + self.transfer_ns
+        } else {
+            let dist = head.abs_diff(page) as u64;
+            let seek = self
+                .seek_max_ns
+                .min(self.seek_base_ns + self.seek_sqrt_coef_ns * isqrt(dist));
+            let rot = self.rotational_ns / (queued.min(15) as u64 + 1);
+            self.command_overhead_ns + seek + rot + self.transfer_ns
+        }
+    }
+}
+
+/// Integer square root (floor).
+fn isqrt(v: u64) -> u64 {
+    if v < 2 {
+        return v;
+    }
+    let mut x = (v as f64).sqrt() as u64;
+    // Correct potential floating-point error (widen to u128: saturating
+    // u64 arithmetic would loop forever near u64::MAX).
+    while (x as u128) * (x as u128) > v as u128 {
+        x -= 1;
+    }
+    while ((x + 1) as u128) * ((x + 1) as u128) <= v as u128 {
+        x += 1;
+    }
+    x
+}
+
+/// Order in which the device serves queued commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// First-in first-out — no reordering (baseline for ablations).
+    Fifo,
+    /// Shortest seek time first: always serve the request closest to the
+    /// current head position.
+    #[default]
+    ShortestSeekFirst,
+    /// Elevator (SCAN): sweep the head in one direction, serving requests in
+    /// passing, then reverse.
+    Elevator,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    page: PageId,
+    submitted_at_ns: u64,
+    seq: u64,
+}
+
+/// The simulated disk. Holds page contents in memory; all latency is
+/// simulated on the shared [`SimClock`].
+pub struct SimDisk {
+    pages: Vec<Vec<u8>>,
+    page_size: usize,
+    profile: DiskProfile,
+    policy: QueuePolicy,
+    /// Position just past the last page read (next sequential target).
+    head: PageId,
+    /// Elevator sweep direction: true = increasing page numbers.
+    sweep_up: bool,
+    /// Simulated time until which the device is busy.
+    busy_until_ns: u64,
+    pending: Vec<Pending>,
+    completed: std::collections::VecDeque<Completion>,
+    next_seq: u64,
+    stats: DeviceStats,
+    trace: Option<Vec<PageId>>,
+}
+
+impl SimDisk {
+    /// Creates an empty disk with the given page size and default profile.
+    pub fn new(page_size: usize) -> Self {
+        Self::with_profile(page_size, DiskProfile::default())
+    }
+
+    /// Creates an empty disk with an explicit cost profile.
+    pub fn with_profile(page_size: usize, profile: DiskProfile) -> Self {
+        Self {
+            pages: Vec::new(),
+            page_size,
+            profile,
+            policy: QueuePolicy::default(),
+            head: 0,
+            sweep_up: true,
+            busy_until_ns: 0,
+            pending: Vec::new(),
+            completed: std::collections::VecDeque::new(),
+            next_seq: 0,
+            stats: DeviceStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Sets the command-queue reordering policy.
+    pub fn set_policy(&mut self, policy: QueuePolicy) {
+        self.policy = policy;
+    }
+
+    /// Current queue policy.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// The cost profile in use.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Moves the head back to page 0 and clears device busy state. Useful to
+    /// start benchmark runs from a known physical state.
+    pub fn park_head(&mut self) {
+        assert!(
+            self.pending.is_empty() && self.completed.is_empty(),
+            "cannot park the head with requests in flight"
+        );
+        self.head = 0;
+        self.sweep_up = true;
+        self.busy_until_ns = 0;
+    }
+
+    /// Picks the index in `pending` of the next request to serve.
+    fn pick_next(&self) -> Option<usize> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let window = if self.profile.queue_depth == 0 {
+            self.pending.len()
+        } else {
+            self.profile.queue_depth.min(self.pending.len())
+        };
+        // Only the first `window` submissions (by sequence) are visible to
+        // the reordering logic, like a bounded hardware queue.
+        let mut idx: Vec<usize> = (0..self.pending.len()).collect();
+        idx.sort_by_key(|&i| self.pending[i].seq);
+        idx.truncate(window);
+        let choice = match self.policy {
+            QueuePolicy::Fifo => idx[0],
+            QueuePolicy::ShortestSeekFirst => *idx
+                .iter()
+                .min_by_key(|&&i| {
+                    let p = self.pending[i].page;
+                    (p.abs_diff(self.head), p)
+                })
+                .expect("window is non-empty"),
+            QueuePolicy::Elevator => {
+                let ahead = |up: bool, i: usize| {
+                    let p = self.pending[i].page;
+                    if up {
+                        p >= self.head
+                    } else {
+                        p <= self.head
+                    }
+                };
+                let best_in_dir = |up: bool| {
+                    idx.iter()
+                        .copied()
+                        .filter(|&i| ahead(up, i))
+                        .min_by_key(|&i| self.pending[i].page.abs_diff(self.head))
+                };
+                match best_in_dir(self.sweep_up) {
+                    Some(i) => i,
+                    None => best_in_dir(!self.sweep_up).expect("window is non-empty"),
+                }
+            }
+        };
+        Some(choice)
+    }
+
+    /// Number of pending commands visible to the reordering/positioning
+    /// logic (bounded by the configured queue depth).
+    fn visible_queue(&self) -> usize {
+        if self.profile.queue_depth == 0 {
+            self.pending.len()
+        } else {
+            self.profile.queue_depth.min(self.pending.len())
+        }
+    }
+
+    /// Serves `pending[i]`, producing a completion.
+    fn serve(&mut self, i: usize) -> Completion {
+        let queued = self.visible_queue().saturating_sub(1);
+        let req = self.pending.swap_remove(i);
+        let start = self.busy_until_ns.max(req.submitted_at_ns);
+        let cost = self
+            .profile
+            .access_cost_queued_ns(self.head, req.page, queued);
+        let finished = start + cost;
+        self.account_read(req.page, cost);
+        if let QueuePolicy::Elevator = self.policy {
+            if req.page != self.head {
+                self.sweep_up = req.page > self.head;
+            }
+        }
+        self.head = req.page + 1;
+        self.busy_until_ns = finished;
+        Completion {
+            page: req.page,
+            bytes: self.pages[req.page as usize].clone(),
+            finished_at_ns: finished,
+        }
+    }
+
+    fn account_read(&mut self, page: PageId, cost: u64) {
+        self.stats.reads += 1;
+        if page == self.head {
+            self.stats.sequential_reads += 1;
+        } else {
+            self.stats.random_reads += 1;
+            self.stats.seek_distance_pages += page.abs_diff(self.head) as u64;
+        }
+        self.stats.busy_ns += cost;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(page);
+        }
+    }
+
+    /// Lets the device work in the background up to simulated time `now`:
+    /// serves queued requests whose completion fits before `now`.
+    fn advance(&mut self, now_ns: u64) {
+        loop {
+            let Some(i) = self.pick_next() else { break };
+            let req = self.pending[i];
+            let start = self.busy_until_ns.max(req.submitted_at_ns);
+            let queued = self.visible_queue().saturating_sub(1);
+            let cost = self
+                .profile
+                .access_cost_queued_ns(self.head, req.page, queued);
+            if start + cost > now_ns {
+                break;
+            }
+            let c = self.serve(i);
+            self.completed.push_back(c);
+        }
+    }
+
+    /// Total simulated nanoseconds the device has been busy.
+    pub fn busy_ns(&self) -> u64 {
+        self.stats.busy_ns
+    }
+}
+
+impl Device for SimDisk {
+    fn num_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Vec<u8> {
+        assert!((page as usize) < self.pages.len(), "page {page} out of range");
+        // Let any background async work that fits before `now` complete first.
+        self.advance(clock.now_ns());
+        let start = self.busy_until_ns.max(clock.now_ns());
+        let cost = self.profile.access_cost_ns(self.head, page);
+        self.account_read(page, cost);
+        self.head = page + 1;
+        self.busy_until_ns = start + cost;
+        clock.wait_until(start + cost);
+        self.pages[page as usize].clone()
+    }
+
+    fn submit(&mut self, page: PageId, clock: &SimClock) {
+        assert!((page as usize) < self.pages.len(), "page {page} out of range");
+        self.advance(clock.now_ns());
+        self.pending.push(Pending {
+            page,
+            submitted_at_ns: clock.now_ns(),
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+    }
+
+    fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion> {
+        self.advance(clock.now_ns());
+        if let Some(c) = self.completed.pop_front() {
+            // Completion may lie in the past (overlapped with CPU work);
+            // wait_until is a no-op then.
+            clock.wait_until(c.finished_at_ns);
+            return Some(c);
+        }
+        if !block || self.pending.is_empty() {
+            return None;
+        }
+        let i = self.pick_next().expect("pending is non-empty");
+        let c = self.serve(i);
+        clock.wait_until(c.finished_at_ns);
+        Some(c)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pending.len() + self.completed.len()
+    }
+
+    fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
+        assert!(
+            bytes.len() <= self.page_size,
+            "page overflow: {} > {}",
+            bytes.len(),
+            self.page_size
+        );
+        let id = self.pages.len() as PageId;
+        let mut b = bytes;
+        b.resize(self.page_size, 0);
+        self.pages.push(b);
+        id
+    }
+
+    fn write_page(&mut self, page: PageId, bytes: Vec<u8>) {
+        assert!((page as usize) < self.pages.len(), "page {page} out of range");
+        assert!(bytes.len() <= self.page_size);
+        let mut b = bytes;
+        b.resize(self.page_size, 0);
+        self.pages[page as usize] = b;
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+        if let Some(t) = self.trace.as_mut() {
+            t.clear();
+        }
+    }
+
+    fn access_trace(&self) -> &[PageId] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        if enabled {
+            self.trace.get_or_insert_with(Vec::new);
+        } else {
+            self.trace = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_with_pages(n: u32) -> SimDisk {
+        let mut d = SimDisk::new(64);
+        for i in 0..n {
+            d.append_page(vec![i as u8; 8]);
+        }
+        d
+    }
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(2), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(10_000), 100);
+        assert_eq!(isqrt(u64::MAX), 4294967295);
+    }
+
+    #[test]
+    fn sequential_reads_cost_transfer_only() {
+        let mut d = disk_with_pages(10);
+        let clock = SimClock::new();
+        d.read_sync(0, &clock);
+        let t0 = clock.now_ns();
+        d.read_sync(1, &clock);
+        let p = *d.profile();
+        assert_eq!(clock.now_ns() - t0, p.command_overhead_ns + p.transfer_ns);
+        // Page 0 from the parked head *and* page 1 are both sequential.
+        assert_eq!(d.stats().sequential_reads, 2);
+    }
+
+    #[test]
+    fn random_read_costs_more_than_sequential() {
+        let mut d = disk_with_pages(100);
+        let clock = SimClock::new();
+        d.read_sync(0, &clock);
+        let t0 = clock.now_ns();
+        d.read_sync(50, &clock);
+        let random_cost = clock.now_ns() - t0;
+        let t1 = clock.now_ns();
+        d.read_sync(51, &clock);
+        let seq_cost = clock.now_ns() - t1;
+        assert!(random_cost > 10 * seq_cost);
+    }
+
+    #[test]
+    fn seek_cost_grows_with_distance_but_capped() {
+        let p = DiskProfile::default();
+        let near = p.access_cost_ns(0, 2);
+        let far = p.access_cost_ns(0, 5_000);
+        let very_far = p.access_cost_ns(0, 4_000_000_000);
+        assert!(near < far);
+        assert!(far <= very_far);
+        assert!(
+            very_far
+                <= p.seek_max_ns + p.rotational_ns + p.transfer_ns + p.command_overhead_ns
+        );
+    }
+
+    #[test]
+    fn async_reordering_beats_fifo_on_total_time() {
+        // Submit pages far apart in FIFO-hostile order; SSTF should finish
+        // the batch strictly earlier than FIFO.
+        let run = |policy: QueuePolicy| {
+            let mut d = disk_with_pages(1000);
+            d.set_policy(policy);
+            let clock = SimClock::new();
+            for &p in &[900u32, 10, 950, 20, 990, 30] {
+                d.submit(p, &clock);
+            }
+            let mut got = Vec::new();
+            while let Some(c) = d.poll(&clock, true) {
+                got.push(c.page);
+            }
+            assert_eq!(got.len(), 6);
+            (clock.now_ns(), d.stats().seek_distance_pages)
+        };
+        let (t_fifo, dist_fifo) = run(QueuePolicy::Fifo);
+        let (t_sstf, dist_sstf) = run(QueuePolicy::ShortestSeekFirst);
+        let (t_elev, dist_elev) = run(QueuePolicy::Elevator);
+        assert!(dist_sstf < dist_fifo);
+        assert!(dist_elev < dist_fifo);
+        assert!(t_sstf < t_fifo);
+        assert!(t_elev < t_fifo);
+    }
+
+    #[test]
+    fn background_completion_overlaps_cpu() {
+        let mut d = disk_with_pages(100);
+        let clock = SimClock::new();
+        d.submit(50, &clock);
+        // Burn enough CPU for the request to complete in the background.
+        clock.charge_cpu(100_000_000);
+        let c = d.poll(&clock, false).expect("completed in background");
+        assert_eq!(c.page, 50);
+        // No I/O wait was charged: the disk worked while the CPU did.
+        assert_eq!(clock.io_wait_ns(), 0);
+    }
+
+    #[test]
+    fn blocking_poll_waits_when_nothing_completed() {
+        let mut d = disk_with_pages(100);
+        let clock = SimClock::new();
+        d.submit(50, &clock);
+        let c = d.poll(&clock, true).expect("served");
+        assert_eq!(c.page, 50);
+        assert!(clock.io_wait_ns() > 0);
+        assert_eq!(clock.now_ns(), c.finished_at_ns);
+    }
+
+    #[test]
+    fn poll_nonblocking_returns_none_when_pending_not_ready() {
+        let mut d = disk_with_pages(100);
+        let clock = SimClock::new();
+        d.submit(50, &clock);
+        assert!(d.poll(&clock, false).is_none());
+        assert_eq!(d.in_flight(), 1);
+    }
+
+    #[test]
+    fn poll_empty_returns_none_even_blocking() {
+        let mut d = disk_with_pages(10);
+        let clock = SimClock::new();
+        assert!(d.poll(&clock, true).is_none());
+    }
+
+    #[test]
+    fn queue_depth_limits_reordering_window() {
+        // With queue_depth = 1 the device degenerates to FIFO.
+        let mut profile = DiskProfile::default();
+        profile.queue_depth = 1;
+        let mut d = SimDisk::with_profile(64, profile);
+        for i in 0..1000u32 {
+            d.append_page(vec![(i % 251) as u8]);
+        }
+        d.set_policy(QueuePolicy::ShortestSeekFirst);
+        let clock = SimClock::new();
+        for &p in &[900u32, 10, 950] {
+            d.submit(p, &clock);
+        }
+        let order: Vec<PageId> = std::iter::from_fn(|| d.poll(&clock, true).map(|c| c.page))
+            .collect();
+        assert_eq!(order, vec![900, 10, 950]);
+    }
+
+    #[test]
+    fn trace_records_access_order() {
+        let mut d = disk_with_pages(10);
+        d.set_trace(true);
+        let clock = SimClock::new();
+        d.read_sync(3, &clock);
+        d.read_sync(1, &clock);
+        assert_eq!(d.access_trace(), &[3, 1]);
+        d.reset_stats();
+        assert!(d.access_trace().is_empty());
+    }
+
+    #[test]
+    fn append_pads_to_page_size() {
+        let mut d = SimDisk::new(32);
+        let id = d.append_page(vec![1, 2, 3]);
+        let clock = SimClock::new();
+        let bytes = d.read_sync(id, &clock);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(&bytes[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn append_oversized_panics() {
+        let mut d = SimDisk::new(4);
+        d.append_page(vec![0; 5]);
+    }
+
+    #[test]
+    fn instant_profile_costs_nothing() {
+        let mut d = SimDisk::with_profile(16, DiskProfile::instant());
+        d.append_page(vec![7]);
+        d.append_page(vec![8]);
+        let clock = SimClock::new();
+        d.read_sync(1, &clock);
+        d.read_sync(0, &clock);
+        assert_eq!(clock.now_ns(), 0);
+    }
+
+    #[test]
+    fn elevator_sweeps_in_one_direction() {
+        let mut d = disk_with_pages(1000);
+        d.set_policy(QueuePolicy::Elevator);
+        let clock = SimClock::new();
+        // Head at 0; submit pages out of order. Elevator should sweep upward.
+        for &p in &[500u32, 100, 900, 300] {
+            d.submit(p, &clock);
+        }
+        let order: Vec<PageId> = std::iter::from_fn(|| d.poll(&clock, true).map(|c| c.page))
+            .collect();
+        assert_eq!(order, vec![100, 300, 500, 900]);
+    }
+}
+
+#[cfg(test)]
+mod queued_cost_tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::device::Device;
+
+    #[test]
+    fn deep_queue_shrinks_rotational_delay() {
+        let p = DiskProfile::default();
+        let shallow = p.access_cost_queued_ns(0, 500, 0);
+        let deep = p.access_cost_queued_ns(0, 500, 10);
+        assert!(deep < shallow);
+        assert_eq!(shallow - deep, p.rotational_ns - p.rotational_ns / 11);
+    }
+
+    #[test]
+    fn sequential_cost_unaffected_by_queue() {
+        let p = DiskProfile::default();
+        assert_eq!(
+            p.access_cost_queued_ns(7, 7, 0),
+            p.access_cost_queued_ns(7, 7, 12)
+        );
+    }
+
+    #[test]
+    fn batched_async_beats_one_at_a_time() {
+        // Same pages: submitted all at once (deep queue) vs read one by one.
+        let pages: Vec<u32> = vec![900, 10, 950, 20, 990, 30, 500, 70];
+        let mut batched = SimDisk::new(64);
+        let mut serial = SimDisk::new(64);
+        for _ in 0..1000 {
+            batched.append_page(vec![0]);
+            serial.append_page(vec![0]);
+        }
+        let cb = SimClock::new();
+        for &p in &pages {
+            batched.submit(p, &cb);
+        }
+        while batched.poll(&cb, true).is_some() {}
+        let cs = SimClock::new();
+        for &p in &pages {
+            serial.read_sync(p, &cs);
+        }
+        assert!(
+            cb.now_ns() < cs.now_ns() * 3 / 4,
+            "batched {} vs serial {}",
+            cb.now_ns(),
+            cs.now_ns()
+        );
+    }
+}

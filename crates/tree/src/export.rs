@@ -1,0 +1,307 @@
+//! Export: reconstructs the logical [`Document`] from a stored tree by
+//! walking all clusters across borders. Used for round-trip verification
+//! (import ∘ export ≡ identity) and by the document-export use case the
+//! paper's outlook mentions.
+
+use crate::node::{Cluster, NodeId, NodeKind};
+use crate::store::TreeStore;
+use pathix_storage::PageId;
+use pathix_xml::{Document, NodeRef};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Frame {
+    cluster: Arc<crate::node::Cluster>,
+    /// Next slot to process in the current sibling chain.
+    cur: Option<u16>,
+    /// Document node receiving the children.
+    parent: NodeRef,
+}
+
+/// Rebuilds the logical document from the store.
+///
+/// Fixes every page of the document through the buffer manager (sequentially
+/// by following the tree structure), so it exercises exactly the structures
+/// queries use.
+pub fn export(store: &TreeStore) -> Document {
+    let root_cluster = store.fix_node(store.root());
+    let root_node = root_cluster.node(store.root().slot);
+    let NodeKind::Element { tag, attrs } = &root_node.kind else {
+        panic!("document root must be an element");
+    };
+    let mut doc = Document::new(store.meta.symbols.name(*tag));
+    for (name, value) in attrs.iter() {
+        let name = store.meta.symbols.name(*name).to_owned();
+        doc.set_attr(doc.root(), &name, value);
+    }
+
+    let mut stack = vec![Frame {
+        cur: root_node.first_child,
+        cluster: root_cluster,
+        parent: doc.root(),
+    }];
+
+    while let Some(frame) = stack.last_mut() {
+        let Some(slot) = frame.cur else {
+            stack.pop();
+            continue;
+        };
+        let node = frame.cluster.node(slot);
+        frame.cur = node.next_sibling;
+        let parent = frame.parent;
+        match &node.kind {
+            NodeKind::Element { tag, attrs } => {
+                let tag_name = store.meta.symbols.name(*tag).to_owned();
+                let el = doc.add_element(parent, &tag_name);
+                for (name, value) in attrs.iter() {
+                    let name = store.meta.symbols.name(*name).to_owned();
+                    doc.set_attr(el, &name, value);
+                }
+                let first = node.first_child;
+                let cluster = frame.cluster.clone();
+                if first.is_some() {
+                    stack.push(Frame {
+                        cluster,
+                        cur: first,
+                        parent: el,
+                    });
+                }
+            }
+            NodeKind::Text(t) => {
+                doc.add_text(parent, t);
+            }
+            NodeKind::BorderDown { target } => {
+                // Continue this chain position inside the companion cluster:
+                // the BorderUp's children are the deferred children.
+                let target: NodeId = *target;
+                let next_cluster = store.fix(target.page);
+                let up = next_cluster.node(target.slot);
+                debug_assert!(matches!(up.kind, NodeKind::BorderUp { .. }));
+                let first = up.first_child;
+                if first.is_some() {
+                    stack.push(Frame {
+                        cluster: next_cluster,
+                        cur: first,
+                        parent,
+                    });
+                }
+            }
+            NodeKind::BorderUp { .. } | NodeKind::Free => {
+                unreachable!("proxy root or tombstone inside a sibling chain")
+            }
+        }
+    }
+    doc
+}
+
+/// Rebuilds the logical document with a **single sequential scan** of the
+/// document's pages, then stitches the clusters in memory — the
+/// scan-friendly export the paper's outlook sketches ("speed up document
+/// export, where our 'path instance' becomes the textual representation of
+/// a whole document", §7). On a fragmented layout this replaces the
+/// random page accesses of [`export`]'s structural walk with one scan.
+pub fn export_scan(store: &TreeStore) -> Document {
+    // Phase 1: one sequential pass pins every cluster.
+    let mut clusters: HashMap<PageId, Arc<Cluster>> = HashMap::new();
+    for page in store.meta.page_range() {
+        clusters.insert(page, store.fix(page));
+    }
+    // Phase 2: stitch in memory (no further I/O).
+    let root = store.meta.root;
+    let root_cluster = Arc::clone(&clusters[&root.page]);
+    let root_node = root_cluster.node(root.slot);
+    let NodeKind::Element { tag, attrs } = &root_node.kind else {
+        panic!("document root must be an element");
+    };
+    let mut doc = Document::new(store.meta.symbols.name(*tag));
+    for (name, value) in attrs.iter() {
+        let name = store.meta.symbols.name(*name).to_owned();
+        doc.set_attr(doc.root(), &name, value);
+    }
+    let mut stack = vec![Frame {
+        cur: root_node.first_child,
+        cluster: root_cluster,
+        parent: doc.root(),
+    }];
+    while let Some(frame) = stack.last_mut() {
+        let Some(slot) = frame.cur else {
+            stack.pop();
+            continue;
+        };
+        let node = frame.cluster.node(slot);
+        frame.cur = node.next_sibling;
+        let parent = frame.parent;
+        match &node.kind {
+            NodeKind::Element { tag, attrs } => {
+                let tag_name = store.meta.symbols.name(*tag).to_owned();
+                let el = doc.add_element(parent, &tag_name);
+                for (name, value) in attrs.iter() {
+                    let name = store.meta.symbols.name(*name).to_owned();
+                    doc.set_attr(el, &name, value);
+                }
+                let first = node.first_child;
+                if first.is_some() {
+                    let cluster = frame.cluster.clone();
+                    stack.push(Frame {
+                        cluster,
+                        cur: first,
+                        parent: el,
+                    });
+                }
+            }
+            NodeKind::Text(t) => {
+                doc.add_text(parent, t);
+            }
+            NodeKind::BorderDown { target } => {
+                let next_cluster = Arc::clone(&clusters[&target.page]);
+                let up = next_cluster.node(target.slot);
+                if up.first_child.is_some() {
+                    let cur = up.first_child;
+                    stack.push(Frame {
+                        cluster: next_cluster,
+                        cur,
+                        parent,
+                    });
+                }
+            }
+            NodeKind::BorderUp { .. } | NodeKind::Free => {
+                unreachable!("proxy root or tombstone inside a sibling chain")
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::{import_into, ImportConfig, Placement};
+    use crate::store::TreeStore;
+    use pathix_storage::{BufferParams, MemDevice, SimClock};
+    use std::rc::Rc;
+
+    fn roundtrip(doc: &Document, page_size: usize, placement: Placement) {
+        let mut dev = MemDevice::new(page_size);
+        let cfg = ImportConfig {
+            page_size,
+            placement,
+        };
+        let (meta, _) = import_into(&mut dev, doc, &cfg).unwrap();
+        let store = TreeStore::open(
+            Box::new(dev),
+            meta,
+            BufferParams::default(),
+            Rc::new(SimClock::new()),
+        );
+        let back = export(&store);
+        assert!(
+            doc.logically_equal(&back),
+            "export must reproduce the logical document"
+        );
+    }
+
+    fn rich_doc() -> Document {
+        let mut d = Document::new("site");
+        let r = d.add_element(d.root(), "regions");
+        d.set_attr(r, "count", "3");
+        for i in 0..20 {
+            let item = d.add_element(r, "item");
+            d.set_attr(item, "id", &format!("i{i}"));
+            let name = d.add_element(item, "name");
+            d.add_text(name, "a reasonably long text payload for splitting");
+            let desc = d.add_element(item, "description");
+            let list = d.add_element(desc, "parlist");
+            for _ in 0..3 {
+                let li = d.add_element(list, "listitem");
+                d.add_text(li, "item text content");
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn roundtrip_single_page() {
+        roundtrip(&rich_doc(), 1 << 16, Placement::Sequential);
+    }
+
+    #[test]
+    fn roundtrip_many_small_pages() {
+        roundtrip(&rich_doc(), 256, Placement::Sequential);
+    }
+
+    #[test]
+    fn roundtrip_shuffled() {
+        roundtrip(&rich_doc(), 256, Placement::Shuffled { seed: 42 });
+    }
+
+    #[test]
+    fn roundtrip_strided() {
+        roundtrip(&rich_doc(), 256, Placement::Strided { stride: 4 });
+    }
+
+    #[test]
+    fn roundtrip_deep_chain() {
+        let mut d = Document::new("r");
+        let mut cur = d.root();
+        for _ in 0..500 {
+            cur = d.add_element(cur, "n");
+        }
+        d.add_text(cur, "leaf");
+        roundtrip(&d, 256, Placement::Sequential);
+    }
+
+    #[test]
+    fn export_scan_equals_export() {
+        let doc = rich_doc();
+        let mut dev = MemDevice::new(256);
+        let cfg = ImportConfig {
+            page_size: 256,
+            placement: Placement::Shuffled { seed: 12 },
+        };
+        let (meta, _) = import_into(&mut dev, &doc, &cfg).unwrap();
+        let store = TreeStore::open(
+            Box::new(dev),
+            meta,
+            BufferParams::default(),
+            Rc::new(SimClock::new()),
+        );
+        let a = export(&store);
+        let b = export_scan(&store);
+        assert!(a.logically_equal(&b));
+        assert!(doc.logically_equal(&b));
+    }
+
+    #[test]
+    fn export_scan_reads_sequentially() {
+        let doc = rich_doc();
+        let mut dev = MemDevice::new(256);
+        let cfg = ImportConfig {
+            page_size: 256,
+            placement: Placement::Shuffled { seed: 12 },
+        };
+        let (meta, _) = import_into(&mut dev, &doc, &cfg).unwrap();
+        let store = TreeStore::open(
+            Box::new(dev),
+            meta,
+            BufferParams {
+                capacity: 4096,
+                ..Default::default()
+            },
+            Rc::new(SimClock::new()),
+        );
+        store.buffer.device_mut().set_trace(true);
+        let _ = export_scan(&store);
+        let trace = store.buffer.device_mut().access_trace().to_vec();
+        let expect: Vec<u32> = store.meta.page_range().collect();
+        assert_eq!(trace, expect, "one pass, physical order");
+    }
+
+    #[test]
+    fn roundtrip_wide_fanout() {
+        let mut d = Document::new("r");
+        for _ in 0..800 {
+            d.add_element(d.root(), "c");
+        }
+        roundtrip(&d, 256, Placement::Shuffled { seed: 1 });
+    }
+}

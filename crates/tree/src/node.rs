@@ -1,0 +1,470 @@
+//! Stored node records, clusters, and their page encoding.
+//!
+//! A cluster is the decoded form of one slotted page: a mini-tree of nodes
+//! addressed by slot number. Core nodes (elements, text) carry the logical
+//! document content; border nodes proxy edges to other clusters (§3.4).
+
+use pathix_storage::{PageId, SimClock, SlottedPageBuilder, SlottedPageReader};
+use pathix_xml::Symbol;
+use std::fmt;
+
+/// Spacing between consecutive document-order keys at import time. The gap
+/// leaves room for `ORDER_SPACING − 1` insertions between any two adjacent
+/// nodes before a local key range is exhausted — the insert-friendly
+/// labelling the paper assumes via ORDPATHs (§5.5), realized as gapped
+/// integer keys.
+pub const ORDER_SPACING: u64 = 1 << 16;
+
+/// The order key assigned to preorder rank `rank` at import time.
+#[inline]
+pub fn order_key(rank: u64) -> u64 {
+    rank * ORDER_SPACING
+}
+
+/// Identifier of a stored node: record id = (page, slot) — the typical
+/// NodeID form of the paper's Example 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Page (= cluster) number.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl NodeId {
+    /// Constructs a node id.
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Self { page, slot }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// Payload of a stored node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Tombstone: a deleted record. Keeps slot numbers stable so border
+    /// companions in other clusters stay valid; never linked into any
+    /// chain, never matched by navigation.
+    Free,
+    /// Core element node with an interned tag and its attributes.
+    /// Attributes are payload only — they are not navigable (the paper's
+    /// model ignores the attribute axis) but are preserved for export.
+    Element {
+        /// Interned tag.
+        tag: Symbol,
+        /// Attribute name/value pairs.
+        attrs: Box<[(Symbol, Box<str>)]>,
+    },
+    /// Core text node with inline content.
+    Text(Box<str>),
+    /// Border node standing for a child subtree stored in another cluster;
+    /// `target` is the companion `BorderUp` node.
+    BorderDown {
+        /// Companion border node on the far side of the edge.
+        target: NodeId,
+    },
+    /// Border node rooting one subtree of a cluster's forest, standing for
+    /// the remote parent; `target` is the companion `BorderDown` node.
+    BorderUp {
+        /// Companion border node on the far side of the edge.
+        target: NodeId,
+    },
+}
+
+impl NodeKind {
+    /// Convenience constructor for an attribute-less element.
+    pub fn elem(tag: Symbol) -> Self {
+        NodeKind::Element {
+            tag,
+            attrs: Box::new([]),
+        }
+    }
+
+    /// True for element/text core nodes.
+    pub fn is_core(&self) -> bool {
+        matches!(self, NodeKind::Element { .. } | NodeKind::Text(_))
+    }
+
+    /// True for either border variant.
+    pub fn is_border(&self) -> bool {
+        matches!(self, NodeKind::BorderDown { .. } | NodeKind::BorderUp { .. })
+    }
+
+    /// The companion border NodeId, for border nodes (the paper's
+    /// `target(x)` operation, §3.4).
+    pub fn target(&self) -> Option<NodeId> {
+        match self {
+            NodeKind::BorderDown { target } | NodeKind::BorderUp { target } => Some(*target),
+            _ => None,
+        }
+    }
+}
+
+/// One stored node: payload plus intra-cluster structure links and the
+/// document-order key (an ORDPATH-substitute preorder rank, §5.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Payload.
+    pub kind: NodeKind,
+    /// Parent slot within this cluster (`None` for the cluster root).
+    pub parent: Option<u16>,
+    /// First child slot within this cluster.
+    pub first_child: Option<u16>,
+    /// Next sibling slot within this cluster.
+    pub next_sibling: Option<u16>,
+    /// Previous sibling slot within this cluster.
+    pub prev_sibling: Option<u16>,
+    /// Document preorder rank (for core nodes: the logical node's rank;
+    /// for borders: the rank of the node the companion stands next to).
+    pub order: u64,
+}
+
+/// Decoded form of one page: a mini-tree of nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The page this cluster lives on.
+    pub page: PageId,
+    /// Nodes by slot.
+    pub nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Node at `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range.
+    #[inline]
+    pub fn node(&self, slot: u16) -> &Node {
+        &self.nodes[slot as usize]
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The global id of the node at `slot`.
+    pub fn id(&self, slot: u16) -> NodeId {
+        NodeId::new(self.page, slot)
+    }
+
+    /// Slots of all border nodes in the cluster (used by the speculative
+    /// instance generation of `XScan`/`XSchedule`).
+    pub fn border_slots(&self) -> impl Iterator<Item = u16> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind.is_border())
+            .map(|(i, _)| i as u16)
+    }
+
+    /// Number of core nodes.
+    pub fn core_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_core()).count()
+    }
+}
+
+// --- encoding ---------------------------------------------------------
+//
+// Record layout (little endian):
+//   u8   kind (0 element, 1 text, 2 border-down, 3 border-up)
+//   u16  parent + 1        (0 = none)
+//   u16  first_child + 1
+//   u16  next_sibling + 1
+//   u16  prev_sibling + 1
+//   u64  order
+//   payload:
+//     element:     u32 tag symbol
+//     text:        u16 len, bytes
+//     border-*:    u32 target page, u16 target slot
+
+const FIXED_HEAD: usize = 1 + 4 * 2 + 8;
+
+/// Exact encoded size of a node record (used by the importer's packing
+/// budget).
+pub fn encoded_size(kind: &NodeKind) -> usize {
+    if matches!(kind, NodeKind::Free) {
+        return 1;
+    }
+    FIXED_HEAD
+        + match kind {
+            NodeKind::Free => unreachable!(),
+            NodeKind::Element { attrs, .. } => {
+                4 + 2 + attrs.iter().map(|(_, v)| 6 + v.len()).sum::<usize>()
+            }
+            NodeKind::Text(t) => 2 + t.len(),
+            NodeKind::BorderDown { .. } | NodeKind::BorderUp { .. } => 6,
+        }
+}
+
+fn put_link(buf: &mut Vec<u8>, link: Option<u16>) {
+    let v = link.map(|s| s + 1).unwrap_or(0);
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_node(node: &Node, buf: &mut Vec<u8>) {
+    let kind_byte = match &node.kind {
+        NodeKind::Element { .. } => 0u8,
+        NodeKind::Text(_) => 1,
+        NodeKind::BorderDown { .. } => 2,
+        NodeKind::BorderUp { .. } => 3,
+        NodeKind::Free => {
+            buf.push(4);
+            return;
+        }
+    };
+    buf.push(kind_byte);
+    put_link(buf, node.parent);
+    put_link(buf, node.first_child);
+    put_link(buf, node.next_sibling);
+    put_link(buf, node.prev_sibling);
+    buf.extend_from_slice(&node.order.to_le_bytes());
+    match &node.kind {
+        NodeKind::Free => unreachable!("handled above"),
+        NodeKind::Element { tag, attrs } => {
+            buf.extend_from_slice(&tag.0.to_le_bytes());
+            assert!(attrs.len() <= u16::MAX as usize, "too many attributes");
+            buf.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+            for (name, value) in attrs.iter() {
+                buf.extend_from_slice(&name.0.to_le_bytes());
+                assert!(value.len() <= u16::MAX as usize, "attribute too long");
+                buf.extend_from_slice(&(value.len() as u16).to_le_bytes());
+                buf.extend_from_slice(value.as_bytes());
+            }
+        }
+        NodeKind::Text(t) => {
+            assert!(t.len() <= u16::MAX as usize, "text record too long");
+            buf.extend_from_slice(&(t.len() as u16).to_le_bytes());
+            buf.extend_from_slice(t.as_bytes());
+        }
+        NodeKind::BorderDown { target } | NodeKind::BorderUp { target } => {
+            buf.extend_from_slice(&target.page.to_le_bytes());
+            buf.extend_from_slice(&target.slot.to_le_bytes());
+        }
+    }
+}
+
+/// Serializes a cluster into page bytes.
+///
+/// # Panics
+/// Panics if the cluster exceeds the page size; the importer's budget
+/// arithmetic guarantees it never does.
+pub fn encode_cluster(cluster: &Cluster, page_size: usize) -> Vec<u8> {
+    let mut builder = SlottedPageBuilder::new(page_size);
+    let mut buf = Vec::with_capacity(64);
+    for node in &cluster.nodes {
+        buf.clear();
+        encode_node(node, &mut buf);
+        builder.push(&buf);
+    }
+    builder.finish()
+}
+
+fn get_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([b[at], b[at + 1]])
+}
+
+fn get_link(b: &[u8], at: usize) -> Option<u16> {
+    match get_u16(b, at) {
+        0 => None,
+        v => Some(v - 1),
+    }
+}
+
+fn decode_node(rec: &[u8]) -> Node {
+    let kind_byte = rec[0];
+    if kind_byte == 4 {
+        return Node {
+            kind: NodeKind::Free,
+            parent: None,
+            first_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            order: 0,
+        };
+    }
+    let parent = get_link(rec, 1);
+    let first_child = get_link(rec, 3);
+    let next_sibling = get_link(rec, 5);
+    let prev_sibling = get_link(rec, 7);
+    let order = u64::from_le_bytes(rec[9..17].try_into().expect("order bytes"));
+    let kind = match kind_byte {
+        0 => {
+            let tag = Symbol(u32::from_le_bytes(
+                rec[17..21].try_into().expect("tag bytes"),
+            ));
+            let n_attrs = get_u16(rec, 21) as usize;
+            let mut at = 23;
+            let mut attrs = Vec::with_capacity(n_attrs);
+            for _ in 0..n_attrs {
+                let name = Symbol(u32::from_le_bytes(
+                    rec[at..at + 4].try_into().expect("attr sym"),
+                ));
+                let len = get_u16(rec, at + 4) as usize;
+                at += 6;
+                let value = std::str::from_utf8(&rec[at..at + len])
+                    .expect("valid UTF-8 attr value")
+                    .into();
+                at += len;
+                attrs.push((name, value));
+            }
+            NodeKind::Element {
+                tag,
+                attrs: attrs.into_boxed_slice(),
+            }
+        }
+        1 => {
+            let len = get_u16(rec, 17) as usize;
+            let text = std::str::from_utf8(&rec[19..19 + len])
+                .expect("valid UTF-8 text record")
+                .into();
+            NodeKind::Text(text)
+        }
+        2 | 3 => {
+            let page = u32::from_le_bytes(rec[17..21].try_into().expect("page bytes"));
+            let slot = get_u16(rec, 21);
+            let target = NodeId::new(page, slot);
+            if kind_byte == 2 {
+                NodeKind::BorderDown { target }
+            } else {
+                NodeKind::BorderUp { target }
+            }
+        }
+        other => panic!("corrupt node record: kind {other}"),
+    };
+    Node {
+        kind,
+        parent,
+        first_child,
+        next_sibling,
+        prev_sibling,
+        order,
+    }
+}
+
+/// CPU cost of decoding one node record (representation change, §3.6).
+pub const DECODE_NODE_NS: u64 = 700;
+
+/// Deserializes page bytes into a cluster, charging decode cost.
+pub fn decode_cluster(page: PageId, bytes: &[u8], clock: &SimClock) -> Cluster {
+    let reader = SlottedPageReader::new(bytes);
+    let mut nodes = Vec::with_capacity(reader.len());
+    for rec in reader.iter() {
+        nodes.push(decode_node(rec));
+    }
+    clock.charge_cpu(DECODE_NODE_NS * nodes.len() as u64);
+    Cluster { page, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cluster() -> Cluster {
+        Cluster {
+            page: 7,
+            nodes: vec![
+                Node {
+                    kind: NodeKind::BorderUp {
+                        target: NodeId::new(3, 9),
+                    },
+                    parent: None,
+                    first_child: Some(1),
+                    next_sibling: None,
+                    prev_sibling: None,
+                    order: 41,
+                },
+                Node {
+                    kind: NodeKind::Element {
+                        tag: Symbol(12),
+                        attrs: Box::new([(Symbol(3), "v1".into())]),
+                    },
+                    parent: Some(0),
+                    first_child: Some(2),
+                    next_sibling: None,
+                    prev_sibling: None,
+                    order: 42,
+                },
+                Node {
+                    kind: NodeKind::Text("hello world".into()),
+                    parent: Some(1),
+                    first_child: None,
+                    next_sibling: Some(3),
+                    prev_sibling: None,
+                    order: 43,
+                },
+                Node {
+                    kind: NodeKind::BorderDown {
+                        target: NodeId::new(9, 0),
+                    },
+                    parent: Some(1),
+                    first_child: None,
+                    next_sibling: None,
+                    prev_sibling: Some(2),
+                    order: 44,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = sample_cluster();
+        let bytes = encode_cluster(&c, 4096);
+        let clock = SimClock::new();
+        let back = decode_cluster(7, &bytes, &clock);
+        assert_eq!(c, back);
+        assert_eq!(clock.cpu_ns(), DECODE_NODE_NS * 4);
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        let c = sample_cluster();
+        for n in &c.nodes {
+            let mut buf = Vec::new();
+            encode_node(n, &mut buf);
+            assert_eq!(buf.len(), encoded_size(&n.kind));
+        }
+    }
+
+    #[test]
+    fn border_helpers() {
+        let c = sample_cluster();
+        let borders: Vec<u16> = c.border_slots().collect();
+        assert_eq!(borders, vec![0, 3]);
+        assert_eq!(c.core_count(), 2);
+        assert_eq!(c.node(0).kind.target(), Some(NodeId::new(3, 9)));
+        assert_eq!(c.node(1).kind.target(), None);
+        assert!(c.node(3).kind.is_border());
+        assert!(c.node(1).kind.is_core());
+    }
+
+    #[test]
+    fn node_id_ordering_is_page_then_slot() {
+        assert!(NodeId::new(1, 9) < NodeId::new(2, 0));
+        assert!(NodeId::new(2, 1) < NodeId::new(2, 2));
+        assert_eq!(NodeId::new(4, 4).to_string(), "4:4");
+    }
+
+    #[test]
+    fn empty_cluster_roundtrip() {
+        let c = Cluster {
+            page: 0,
+            nodes: vec![],
+        };
+        let bytes = encode_cluster(&c, 128);
+        let clock = SimClock::new();
+        let back = decode_cluster(0, &bytes, &clock);
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! The tree store: metadata + buffer-managed access to decoded clusters.
+
+use crate::node::{decode_cluster, Cluster, NodeId};
+use pathix_storage::{BufferManager, BufferParams, Device, PageId, SimClock, WriteAheadLog};
+use pathix_xml::SymbolTable;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Metadata of one stored document.
+#[derive(Debug, Clone)]
+pub struct TreeMeta {
+    /// NodeId of the document root element.
+    pub root: NodeId,
+    /// First page of the document on the device.
+    pub base_page: PageId,
+    /// Number of pages (= clusters) the document occupies.
+    pub page_count: u32,
+    /// The document's tag alphabet.
+    pub symbols: SymbolTable,
+    /// Logical node count (elements + text nodes).
+    pub node_count: u64,
+    /// Logical element count.
+    pub element_count: u64,
+    /// Element count per tag symbol (indexed by `Symbol::index`). Collected
+    /// at import; the optimizer's selectivity estimates are built on it.
+    pub tag_counts: Vec<u64>,
+    /// Sum of subtree sizes (nodes, including self) over all elements of a
+    /// tag — `tag_descendants[t] / tag_counts[t]` is the average subtree a
+    /// `descendant` step from a `t` element inspects.
+    pub tag_descendants: Vec<u64>,
+}
+
+impl TreeMeta {
+    /// The physical page range `[base, base + count)` of the document —
+    /// what the `XScan` operator scans.
+    pub fn page_range(&self) -> std::ops::Range<PageId> {
+        self.base_page..self.base_page + self.page_count
+    }
+
+    /// Number of elements carrying `tag` (0 for unknown symbols).
+    pub fn tag_count(&self, tag: pathix_xml::Symbol) -> u64 {
+        self.tag_counts
+            .get(tag.index() as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total subtree nodes under elements carrying `tag`.
+    pub fn tag_subtree_nodes(&self, tag: pathix_xml::Symbol) -> u64 {
+        self.tag_descendants
+            .get(tag.index() as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Decoder plugged into the buffer manager.
+pub struct ClusterDecoder;
+
+impl pathix_storage::PageDecoder<Cluster> for ClusterDecoder {
+    fn decode(&self, page: PageId, bytes: &[u8], clock: &SimClock) -> Cluster {
+        decode_cluster(page, bytes, clock)
+    }
+}
+
+/// A stored document opened for querying: metadata plus the buffer manager
+/// over its device.
+pub struct TreeStore {
+    /// Document metadata.
+    pub meta: TreeMeta,
+    /// Buffer manager caching decoded clusters.
+    pub buffer: BufferManager<Cluster, ClusterDecoder>,
+    /// Optional write-ahead log: when attached, every page update is logged
+    /// before it is written (see `pathix_storage::wal`).
+    pub wal: Option<Rc<RefCell<WriteAheadLog>>>,
+}
+
+impl TreeStore {
+    /// Opens a store over `device` with the given buffer configuration.
+    pub fn open(
+        device: Box<dyn Device>,
+        meta: TreeMeta,
+        params: BufferParams,
+        clock: Rc<SimClock>,
+    ) -> Self {
+        Self {
+            meta,
+            buffer: BufferManager::new(device, ClusterDecoder, params, clock),
+            wal: None,
+        }
+    }
+
+    /// Attaches a write-ahead log; subsequent updates log page after-images
+    /// before writing. Call `flush()` on the log to commit.
+    pub fn attach_wal(&mut self, wal: Rc<RefCell<WriteAheadLog>>) {
+        self.wal = Some(wal);
+    }
+
+    /// Convenience: import `doc` into a fresh device produced by `mk_device`
+    /// and open a store over it.
+    pub fn build(
+        doc: &pathix_xml::Document,
+        device: Box<dyn Device>,
+        import_cfg: &crate::import::ImportConfig,
+        params: BufferParams,
+        clock: Rc<SimClock>,
+    ) -> Result<(Self, crate::import::ImportReport), crate::import::ImportError> {
+        let mut device = device;
+        let (meta, report) = crate::import::import_into(device.as_mut(), doc, import_cfg)?;
+        Ok((Self::open(device, meta, params, clock), report))
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        self.buffer.clock()
+    }
+
+    /// The document root's NodeId.
+    pub fn root(&self) -> NodeId {
+        self.meta.root
+    }
+
+    /// Fixes the cluster holding `page`.
+    pub fn fix(&self, page: PageId) -> Arc<Cluster> {
+        self.buffer.fix(page)
+    }
+
+    /// Fixes the cluster of a node.
+    pub fn fix_node(&self, id: NodeId) -> Arc<Cluster> {
+        self.buffer.fix(id.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::{import_into, ImportConfig, Placement};
+    use crate::node::NodeKind;
+    use pathix_storage::MemDevice;
+
+    fn store_for(doc: &pathix_xml::Document, page_size: usize) -> TreeStore {
+        let mut dev = MemDevice::new(page_size);
+        let cfg = ImportConfig {
+            page_size,
+            placement: Placement::Sequential,
+        };
+        let (meta, _) = import_into(&mut dev, doc, &cfg).unwrap();
+        TreeStore::open(
+            Box::new(dev),
+            meta,
+            BufferParams::default(),
+            Rc::new(SimClock::new()),
+        )
+    }
+
+    #[test]
+    fn open_and_fix_root() {
+        let mut doc = pathix_xml::Document::new("r");
+        doc.add_element(doc.root(), "a");
+        let store = store_for(&doc, 4096);
+        let cluster = store.fix_node(store.root());
+        let root = cluster.node(store.root().slot);
+        assert!(matches!(root.kind, NodeKind::Element { .. }));
+        assert_eq!(
+            store.meta.symbols.name(match &root.kind {
+                NodeKind::Element { tag, .. } => *tag,
+                _ => unreachable!(),
+            }),
+            "r"
+        );
+    }
+
+    #[test]
+    fn page_range_covers_document() {
+        let mut doc = pathix_xml::Document::new("r");
+        for _ in 0..200 {
+            let c = doc.add_element(doc.root(), "x");
+            doc.add_text(c, "payload text");
+        }
+        let store = store_for(&doc, 512);
+        let range = store.meta.page_range();
+        assert!(range.len() > 1);
+        for p in range {
+            let c = store.fix(p);
+            assert!(!c.is_empty());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # pathix-xml
+//!
+//! A small, dependency-free XML toolkit used by the pathix engine:
+//!
+//! * [`SymbolTable`] — interned tag/attribute names (the paper's tag
+//!   alphabet Σ),
+//! * [`Document`] — an arena-based, ordered, labelled tree with full
+//!   sibling/parent links (the *logical* tree model of the paper's §3.1),
+//! * [`parse`] — a non-validating XML parser,
+//! * [`serialize`] — an escaping serializer; `parse(serialize(d)) ≡ d`.
+//!
+//! The document tree is the input to `pathix-tree`'s clustering importer and
+//! the data structure on which `pathix-xpath`'s reference evaluator runs.
+
+pub mod doc;
+pub mod parser;
+pub mod serializer;
+pub mod symbols;
+
+pub use doc::{Document, NodeRef, XKind};
+pub use parser::{parse, ParseError};
+pub use serializer::{serialize, serialize_pretty};
+pub use symbols::{Symbol, SymbolTable};

@@ -1,0 +1,138 @@
+//! XML serializer with escaping. `parse(serialize(doc))` reproduces the
+//! logical tree (modulo ignorable whitespace, which we never emit in
+//! compact mode).
+
+use crate::doc::{Document, NodeRef, XKind};
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn write_node(doc: &Document, node: NodeRef, out: &mut String, indent: Option<usize>) {
+    match doc.kind(node) {
+        XKind::Text(_) => {
+            escape_text(doc.text(node).expect("text node"), out);
+        }
+        XKind::Element(sym) => {
+            let tag = doc.symbols().name(sym);
+            if let Some(depth) = indent {
+                if depth > 0 {
+                    out.push('\n');
+                }
+                out.extend(std::iter::repeat(' ').take(depth * 2));
+            }
+            out.push('<');
+            out.push_str(tag);
+            for (name, value) in doc.attrs(node) {
+                out.push(' ');
+                out.push_str(doc.symbols().name(*name));
+                out.push_str("=\"");
+                escape_attr(value, out);
+                out.push('"');
+            }
+            if doc.first_child(node).is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // Indentation is only safe when no text children exist: inserted
+            // whitespace inside mixed content would change the document.
+            let elements_only = doc
+                .children(node)
+                .all(|c| matches!(doc.kind(c), XKind::Element(_)));
+            for child in doc.children(node) {
+                let child_indent = match indent {
+                    Some(d) if elements_only => Some(d + 1),
+                    _ => None,
+                };
+                write_node(doc, child, out, child_indent);
+            }
+            if let (Some(depth), true) = (indent, elements_only) {
+                out.push('\n');
+                out.extend(std::iter::repeat(' ').take(depth * 2));
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+    }
+}
+
+/// Serializes the document compactly (no insignificant whitespace).
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out, None);
+    out
+}
+
+/// Serializes the document with two-space indentation for human reading.
+pub fn serialize_pretty(doc: &Document) -> String {
+    let mut out = String::new();
+    write_node(doc, doc.root(), &mut out, Some(0));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn simple_roundtrip() {
+        let src = "<a><b>hi</b><c x=\"1\"><d/></c></a>";
+        let d = parse(src).unwrap();
+        assert_eq!(serialize(&d), src);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let mut d = Document::new("a");
+        d.add_text(d.root(), "x < y & z > w");
+        d.set_attr(d.root(), "q", "say \"hi\" & <bye>");
+        let s = serialize(&d);
+        let d2 = parse(&s).unwrap();
+        assert!(d.logically_equal(&d2));
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let src = "<a><b>hi</b><c><d/><e>t</e></c></a>";
+        let d = parse(src).unwrap();
+        let pretty = serialize_pretty(&d);
+        assert!(pretty.contains('\n'));
+        let d2 = parse(&pretty).unwrap();
+        assert!(d.logically_equal(&d2));
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let d = Document::new("solo");
+        assert_eq!(serialize(&d), "<solo/>");
+    }
+
+    #[test]
+    fn mixed_content_roundtrip() {
+        let src = "<t>pre<emph>word</emph>post</t>";
+        let d = parse(src).unwrap();
+        assert_eq!(serialize(&d), src);
+    }
+}

@@ -1,0 +1,627 @@
+//! # pathix-xmlgen
+//!
+//! A deterministic, XMark-shaped benchmark document generator.
+//!
+//! The paper evaluates on documents produced by the XMark generator
+//! (`xmlgen`, Schmidt et al., VLDB 2002). `xmlgen` is external C code, so
+//! this crate substitutes a generator producing the same element hierarchy
+//! for the paths the evaluation queries traverse, with cardinality
+//! proportions modelled on XMark's scaling tables:
+//!
+//! * `site/regions/{africa,asia,australia,europe,namerica,samerica}/item`
+//!   with XMark's per-continent item ratios,
+//! * `site/people/person/email` (prose-count target for Q7),
+//! * `site/{open_auctions,closed_auctions}` with `annotation/description`
+//!   containing either a `text` element or a recursive
+//!   `parlist/listitem` structure — the deep, *selective* chain that makes
+//!   XMark Q15 a stress test for scan-based plans,
+//! * `text` elements with mixed content (`bold`/`keyword`/`emph`, possibly
+//!   nested) as in XMark's Shakespeare-derived prose.
+//!
+//! Everything is driven by a single seed; the same [`GenConfig`] always
+//! produces byte-identical documents.
+
+use pathix_xml::{Document, NodeRef};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+mod words;
+
+/// Per-continent item counts at scale 1.0, proportioned like XMark
+/// (africa : asia : australia : europe : namerica : samerica =
+/// 550 : 2000 : 2200 : 6000 : 10000 : 1000, scaled down 12.5×).
+const ITEMS_PER_REGION: [(&str, usize); 6] = [
+    ("africa", 44),
+    ("asia", 160),
+    ("australia", 176),
+    ("europe", 480),
+    ("namerica", 800),
+    ("samerica", 80),
+];
+
+/// Entity counts at scale 1.0 (XMark's ratios, scaled down 12.5×).
+const CATEGORIES: usize = 80;
+const PEOPLE: usize = 2040;
+const OPEN_AUCTIONS: usize = 960;
+const CLOSED_AUCTIONS: usize = 780;
+
+/// Configuration of one generated document.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// XMark-style scaling factor; entity counts scale linearly.
+    pub scale: f64,
+    /// PRNG seed; identical configs generate identical documents.
+    pub seed: u64,
+    /// Average number of words in a prose sentence (controls text weight).
+    pub avg_sentence_words: usize,
+    /// Maximum recursion depth of `parlist` structures.
+    pub max_parlist_depth: usize,
+}
+
+impl GenConfig {
+    /// Config at a given scale with defaults matching the paper's setup.
+    pub fn at_scale(scale: f64) -> Self {
+        Self {
+            scale,
+            seed: 0x5EED_CAFE,
+            avg_sentence_words: 30,
+            max_parlist_depth: 3,
+        }
+    }
+
+    /// Same config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// Tag-count summary of a generated document (used in tests and reports).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GenSummary {
+    /// Total nodes (elements + text nodes).
+    pub total_nodes: usize,
+    /// Element count.
+    pub elements: usize,
+    /// `item` elements.
+    pub items: usize,
+    /// `description` elements.
+    pub descriptions: usize,
+    /// `annotation` elements.
+    pub annotations: usize,
+    /// `email` elements.
+    pub emails: usize,
+    /// `closed_auction` elements.
+    pub closed_auctions: usize,
+}
+
+struct Gen {
+    doc: Document,
+    rng: StdRng,
+    cfg: GenConfig,
+}
+
+impl Gen {
+    fn sentence(&mut self) -> String {
+        let n = self
+            .rng
+            .random_range(self.cfg.avg_sentence_words / 2..=self.cfg.avg_sentence_words * 3 / 2)
+            .max(1);
+        words::sentence(&mut self.rng, n)
+    }
+
+    fn short(&mut self) -> String {
+        let n = self.rng.random_range(2..=5);
+        words::sentence(&mut self.rng, n)
+    }
+
+    fn leaf(&mut self, parent: NodeRef, tag: &str) -> NodeRef {
+        let e = self.doc.add_element(parent, tag);
+        let t = self.short();
+        self.doc.add_text(e, &t);
+        e
+    }
+
+    /// A `text` element with mixed prose content and occasional inline
+    /// markup; `emph/keyword` nesting is what Q15's tail steps select.
+    /// Consecutive prose runs are coalesced into one text node so the
+    /// document round-trips through the parser (which merges adjacent
+    /// character data).
+    fn text_elem(&mut self, parent: NodeRef) -> NodeRef {
+        let text = self.doc.add_element(parent, "text");
+        let runs = self.rng.random_range(1..=3);
+        let mut pending = self.sentence();
+        for _ in 1..runs {
+            let draw = self.rng.random_range(0..10);
+            if draw <= 5 {
+                self.doc.add_text(text, &pending);
+                pending.clear();
+            }
+            match draw {
+                0..=1 => {
+                    self.leaf(text, "bold");
+                }
+                2..=3 => {
+                    self.leaf(text, "keyword");
+                }
+                4..=5 => {
+                    let emph = self.doc.add_element(text, "emph");
+                    let s = self.short();
+                    self.doc.add_text(emph, &s);
+                    // Half of the emph elements contain a nested keyword:
+                    // the final steps of Q15 (`text/emph/keyword`).
+                    if self.rng.random_bool(0.5) {
+                        self.leaf(emph, "keyword");
+                    }
+                }
+                _ => {}
+            }
+            if !pending.is_empty() {
+                pending.push(' ');
+            }
+            pending.push_str(&self.sentence());
+        }
+        if !pending.is_empty() {
+            self.doc.add_text(text, &pending);
+        }
+        text
+    }
+
+    fn parlist(&mut self, parent: NodeRef, depth: usize) -> NodeRef {
+        let parlist = self.doc.add_element(parent, "parlist");
+        let items = self.rng.random_range(1..=3);
+        for _ in 0..items {
+            let li = self.doc.add_element(parlist, "listitem");
+            if depth + 1 < self.cfg.max_parlist_depth && self.rng.random_bool(0.35) {
+                self.parlist(li, depth + 1);
+            } else {
+                self.text_elem(li);
+            }
+        }
+        parlist
+    }
+
+    /// `description` is either a `text` element or a `parlist` (XMark DTD).
+    fn description(&mut self, parent: NodeRef) -> NodeRef {
+        let d = self.doc.add_element(parent, "description");
+        if self.rng.random_bool(0.3) {
+            self.parlist(d, 0);
+        } else {
+            self.text_elem(d);
+        }
+        d
+    }
+
+    fn annotation(&mut self, parent: NodeRef) -> NodeRef {
+        let a = self.doc.add_element(parent, "annotation");
+        self.leaf(a, "author");
+        self.description(a);
+        a
+    }
+
+    fn item(&mut self, parent: NodeRef, id: usize) {
+        let item = self.doc.add_element(parent, "item");
+        self.doc.set_attr(item, "id", &format!("item{id}"));
+        self.leaf(item, "location");
+        self.leaf(item, "quantity");
+        self.leaf(item, "name");
+        let payment = self.doc.add_element(item, "payment");
+        let t = self.short();
+        self.doc.add_text(payment, &t);
+        self.description(item);
+        let shipping = self.doc.add_element(item, "shipping");
+        let t = self.short();
+        self.doc.add_text(shipping, &t);
+        for _ in 0..self.rng.random_range(1..=2) {
+            let inc = self.doc.add_element(item, "incategory");
+            let cat = self.rng.random_range(0..self.cfg.count(CATEGORIES));
+            self.doc.set_attr(inc, "category", &format!("category{cat}"));
+        }
+        if self.rng.random_bool(0.7) {
+            let mailbox = self.doc.add_element(item, "mailbox");
+            for _ in 0..self.rng.random_range(0..=2) {
+                let mail = self.doc.add_element(mailbox, "mail");
+                self.leaf(mail, "from");
+                self.leaf(mail, "to");
+                self.leaf(mail, "date");
+                self.text_elem(mail);
+            }
+        }
+    }
+
+    fn person(&mut self, parent: NodeRef, id: usize) {
+        let p = self.doc.add_element(parent, "person");
+        self.doc.set_attr(p, "id", &format!("person{id}"));
+        self.leaf(p, "name");
+        // XMark's prose-count query Q7 counts //email (Tab. 2 of the paper).
+        self.leaf(p, "email");
+        if self.rng.random_bool(0.5) {
+            self.leaf(p, "phone");
+        }
+        if self.rng.random_bool(0.4) {
+            let addr = self.doc.add_element(p, "address");
+            self.leaf(addr, "street");
+            self.leaf(addr, "city");
+            self.leaf(addr, "country");
+            self.leaf(addr, "zipcode");
+        }
+        if self.rng.random_bool(0.3) {
+            self.leaf(p, "creditcard");
+        }
+        if self.rng.random_bool(0.6) {
+            let prof = self.doc.add_element(p, "profile");
+            for _ in 0..self.rng.random_range(0..=3) {
+                let i = self.doc.add_element(prof, "interest");
+                let cat = self.rng.random_range(0..self.cfg.count(CATEGORIES));
+                self.doc.set_attr(i, "category", &format!("category{cat}"));
+            }
+            if self.rng.random_bool(0.5) {
+                self.leaf(prof, "education");
+            }
+            self.leaf(prof, "business");
+            if self.rng.random_bool(0.7) {
+                self.leaf(prof, "age");
+            }
+        }
+        let watches = self.doc.add_element(p, "watches");
+        for _ in 0..self.rng.random_range(0..=2) {
+            let w = self.doc.add_element(watches, "watch");
+            let a = self.rng.random_range(0..self.cfg.count(OPEN_AUCTIONS));
+            self.doc.set_attr(w, "open_auction", &format!("open_auction{a}"));
+        }
+    }
+
+    fn open_auction(&mut self, parent: NodeRef, id: usize) {
+        let a = self.doc.add_element(parent, "open_auction");
+        self.doc.set_attr(a, "id", &format!("open_auction{id}"));
+        self.leaf(a, "initial");
+        if self.rng.random_bool(0.5) {
+            self.leaf(a, "reserve");
+        }
+        for _ in 0..self.rng.random_range(0..=3) {
+            let b = self.doc.add_element(a, "bidder");
+            self.leaf(b, "date");
+            self.leaf(b, "time");
+            let pr = self.doc.add_element(b, "personref");
+            let p = self.rng.random_range(0..self.cfg.count(PEOPLE));
+            self.doc.set_attr(pr, "person", &format!("person{p}"));
+            self.leaf(b, "increase");
+        }
+        self.leaf(a, "current");
+        if self.rng.random_bool(0.3) {
+            self.leaf(a, "privacy");
+        }
+        let ir = self.doc.add_element(a, "itemref");
+        let item_total: usize = ITEMS_PER_REGION
+            .iter()
+            .map(|(_, n)| self.cfg.count(*n))
+            .sum();
+        let i = self.rng.random_range(0..item_total);
+        self.doc.set_attr(ir, "item", &format!("item{i}"));
+        self.leaf(a, "seller");
+        self.annotation(a);
+        self.leaf(a, "quantity");
+        self.leaf(a, "type");
+        let interval = self.doc.add_element(a, "interval");
+        self.leaf(interval, "start");
+        self.leaf(interval, "end");
+    }
+
+    fn closed_auction(&mut self, parent: NodeRef, id: usize) {
+        let a = self.doc.add_element(parent, "closed_auction");
+        self.doc.set_attr(a, "id", &format!("closed_auction{id}"));
+        self.leaf(a, "seller");
+        self.leaf(a, "buyer");
+        let ir = self.doc.add_element(a, "itemref");
+        self.doc.set_attr(ir, "item", &format!("item{id}"));
+        self.leaf(a, "price");
+        self.leaf(a, "date");
+        self.leaf(a, "quantity");
+        self.leaf(a, "type");
+        if id == 0 {
+            // The first closed auction always carries the full Q15 chain
+            // (annotation/description/parlist/listitem/parlist/listitem/
+            // text/emph/keyword), so the benchmark query has results at
+            // every scaling factor — as in real XMark data.
+            let ann = self.doc.add_element(a, "annotation");
+            self.leaf(ann, "author");
+            let desc = self.doc.add_element(ann, "description");
+            let pl1 = self.doc.add_element(desc, "parlist");
+            let li1 = self.doc.add_element(pl1, "listitem");
+            let pl2 = self.doc.add_element(li1, "parlist");
+            let li2 = self.doc.add_element(pl2, "listitem");
+            let text = self.doc.add_element(li2, "text");
+            let sentence = self.sentence();
+            self.doc.add_text(text, &sentence);
+            let emph = self.doc.add_element(text, "emph");
+            let short = self.short();
+            self.doc.add_text(emph, &short);
+            self.leaf(emph, "keyword");
+        } else {
+            self.annotation(a);
+        }
+    }
+
+    fn build(mut self) -> Document {
+        let root = self.doc.root();
+
+        let regions = self.doc.add_element(root, "regions");
+        let mut item_id = 0usize;
+        for (name, base) in ITEMS_PER_REGION {
+            let region = self.doc.add_element(regions, name);
+            for _ in 0..self.cfg.count(base) {
+                self.item(region, item_id);
+                item_id += 1;
+            }
+        }
+
+        let categories = self.doc.add_element(root, "categories");
+        for c in 0..self.cfg.count(CATEGORIES) {
+            let cat = self.doc.add_element(categories, "category");
+            self.doc.set_attr(cat, "id", &format!("category{c}"));
+            self.leaf(cat, "name");
+            self.description(cat);
+        }
+
+        let catgraph = self.doc.add_element(root, "catgraph");
+        for _ in 0..self.cfg.count(CATEGORIES) {
+            let e = self.doc.add_element(catgraph, "edge");
+            let from = self.rng.random_range(0..self.cfg.count(CATEGORIES));
+            let to = self.rng.random_range(0..self.cfg.count(CATEGORIES));
+            self.doc.set_attr(e, "from", &format!("category{from}"));
+            self.doc.set_attr(e, "to", &format!("category{to}"));
+        }
+
+        let people = self.doc.add_element(root, "people");
+        for p in 0..self.cfg.count(PEOPLE) {
+            self.person(people, p);
+        }
+
+        let open = self.doc.add_element(root, "open_auctions");
+        for a in 0..self.cfg.count(OPEN_AUCTIONS) {
+            self.open_auction(open, a);
+        }
+
+        let closed = self.doc.add_element(root, "closed_auctions");
+        for a in 0..self.cfg.count(CLOSED_AUCTIONS) {
+            self.closed_auction(closed, a);
+        }
+
+        self.doc
+    }
+}
+
+/// Generates an XMark-shaped document for `cfg`.
+pub fn generate(cfg: &GenConfig) -> Document {
+    let gen = Gen {
+        doc: Document::new("site"),
+        rng: StdRng::seed_from_u64(cfg.seed ^ (cfg.scale * 1e6) as u64),
+        cfg: *cfg,
+    };
+    gen.build()
+}
+
+/// Computes a tag-count summary of a document.
+pub fn summarize(doc: &Document) -> GenSummary {
+    let mut s = GenSummary {
+        total_nodes: doc.len(),
+        ..Default::default()
+    };
+    for n in doc.descendants_or_self(doc.root()) {
+        let Some(tag) = doc.tag_name(n) else { continue };
+        s.elements += 1;
+        match tag {
+            "item" => s.items += 1,
+            "description" => s.descriptions += 1,
+            "annotation" => s.annotations += 1,
+            "email" => s.emails += 1,
+            "closed_auction" => s.closed_auctions += 1,
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_config() {
+        let cfg = GenConfig::at_scale(0.05);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert!(a.logically_equal(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::at_scale(0.05));
+        let b = generate(&GenConfig::at_scale(0.05).with_seed(99));
+        assert!(!a.logically_equal(&b));
+    }
+
+    #[test]
+    fn scale_scales_entity_counts() {
+        let s1 = summarize(&generate(&GenConfig::at_scale(0.1)));
+        let s2 = summarize(&generate(&GenConfig::at_scale(0.2)));
+        assert!(s2.items > s1.items);
+        assert!((s2.items as f64 / s1.items as f64 - 2.0).abs() < 0.35);
+        assert!(s2.total_nodes > s1.total_nodes);
+    }
+
+    #[test]
+    fn xmark_proportions_hold() {
+        let s = summarize(&generate(&GenConfig::at_scale(0.25)));
+        // namerica dominates items; emails = people count.
+        assert_eq!(s.items, ITEMS_PER_REGION.iter().map(|(_, n)| GenConfig::at_scale(0.25).count(*n)).sum::<usize>());
+        assert_eq!(s.emails, GenConfig::at_scale(0.25).count(PEOPLE));
+        assert_eq!(s.closed_auctions, GenConfig::at_scale(0.25).count(CLOSED_AUCTIONS));
+        // Every item, auction and category has a description.
+        assert!(s.descriptions >= s.items + s.closed_auctions);
+        // Annotations exist on all auctions.
+        assert!(s.annotations > 0);
+    }
+
+    #[test]
+    fn q15_chain_exists_but_is_selective() {
+        // The deep Q15 chain must match some nodes (so the query is
+        // non-trivial) but only a small fraction of closed auctions.
+        let doc = generate(&GenConfig::at_scale(0.5));
+        let mut q15_hits = 0usize;
+        let chain = [
+            "closed_auctions",
+            "closed_auction",
+            "annotation",
+            "description",
+            "parlist",
+            "listitem",
+            "parlist",
+            "listitem",
+            "text",
+            "emph",
+            "keyword",
+        ];
+        fn walk(
+            doc: &Document,
+            n: pathix_xml::NodeRef,
+            chain: &[&str],
+            hits: &mut usize,
+        ) {
+            if chain.is_empty() {
+                *hits += 1;
+                return;
+            }
+            for c in doc.children(n) {
+                if doc.tag_name(c) == Some(chain[0]) {
+                    walk(doc, c, &chain[1..], hits);
+                }
+            }
+        }
+        walk(&doc, doc.root(), &chain, &mut q15_hits);
+        let s = summarize(&doc);
+        assert!(q15_hits > 0, "Q15 must have results");
+        assert!(
+            q15_hits < s.closed_auctions,
+            "Q15 must be selective: {} hits vs {} closed auctions",
+            q15_hits,
+            s.closed_auctions
+        );
+    }
+
+    #[test]
+    fn document_serializes_and_reparses() {
+        let doc = generate(&GenConfig::at_scale(0.02));
+        let text = pathix_xml::serialize(&doc);
+        let back = pathix_xml::parse(&text).unwrap();
+        assert!(doc.logically_equal(&back));
+    }
+
+    #[test]
+    fn site_top_level_structure() {
+        let doc = generate(&GenConfig::at_scale(0.02));
+        let tops: Vec<_> = doc
+            .children(doc.root())
+            .filter_map(|n| doc.tag_name(n))
+            .collect();
+        assert_eq!(
+            tops,
+            vec![
+                "regions",
+                "categories",
+                "catgraph",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod distribution_tests {
+    use super::*;
+
+    /// Region item ratios should roughly follow XMark's proportions.
+    #[test]
+    fn region_ratios_follow_xmark() {
+        let doc = generate(&GenConfig::at_scale(0.5));
+        let mut per_region = Vec::new();
+        let regions = doc
+            .children(doc.root())
+            .find(|&n| doc.tag_name(n) == Some("regions"))
+            .unwrap();
+        for region in doc.children(regions) {
+            let items = doc
+                .descendants(region)
+                .filter(|&n| doc.tag_name(n) == Some("item"))
+                .count();
+            per_region.push(items);
+        }
+        assert_eq!(per_region.len(), 6);
+        // namerica dominates; africa is smallest.
+        let max = per_region.iter().max().unwrap();
+        let min = per_region.iter().min().unwrap();
+        assert_eq!(per_region[4], *max, "namerica largest");
+        assert_eq!(per_region[0], *min, "africa smallest");
+        assert!(*max >= 10 * *min);
+    }
+
+    /// Text volume dominates element count roughly like real XML corpora.
+    #[test]
+    fn text_nodes_present_in_volume() {
+        let doc = generate(&GenConfig::at_scale(0.1));
+        let texts = doc.len() - doc.element_count();
+        assert!(texts * 2 > doc.element_count(), "texts {texts} vs elements {}", doc.element_count());
+    }
+
+    /// Deep Q15 chains never exceed the configured parlist depth.
+    #[test]
+    fn parlist_depth_is_bounded() {
+        let cfg = GenConfig::at_scale(0.2);
+        let doc = generate(&cfg);
+        fn max_parlist_depth(
+            doc: &pathix_xml::Document,
+            n: pathix_xml::NodeRef,
+            depth: usize,
+        ) -> usize {
+            let mut m = depth;
+            for c in doc.children(n) {
+                let d = if doc.tag_name(c) == Some("parlist") {
+                    depth + 1
+                } else {
+                    depth
+                };
+                m = m.max(max_parlist_depth(doc, c, d));
+            }
+            m
+        }
+        let got = max_parlist_depth(&doc, doc.root(), 0);
+        assert!(got <= cfg.max_parlist_depth, "depth {got}");
+        assert!(got >= 2, "needs nesting for Q15");
+    }
+
+    /// Attribute cross-references point at existing entities.
+    #[test]
+    fn references_are_well_formed() {
+        let doc = generate(&GenConfig::at_scale(0.05));
+        let s = summarize(&doc);
+        for n in doc.descendants_or_self(doc.root()) {
+            for (name, value) in doc.attrs(n) {
+                let name = doc.symbols().name(*name);
+                if name == "item" && doc.tag_name(n) == Some("itemref") {
+                    let idx: usize = value
+                        .strip_prefix("item")
+                        .expect("itemref format")
+                        .parse()
+                        .expect("numeric");
+                    assert!(idx < s.items, "dangling itemref {value}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Word material for generated prose. XMark draws its text from
+//! Shakespeare; we use a fixed word list with the same flavour, which keeps
+//! the generator deterministic and dependency-free.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The generator's vocabulary.
+pub const WORDS: &[&str] = &[
+    "honour", "duteous", "sovereign", "malice", "homely", "prophet", "trumpet", "quarrel",
+    "solemn", "tongue", "banish", "majesty", "gentle", "herald", "slander", "breath",
+    "kingdom", "mirror", "shadow", "sorrow", "crown", "throne", "garden", "sceptre",
+    "tidings", "fortune", "exile", "grief", "lament", "pardon", "treason", "justice",
+    "virtue", "glory", "honest", "wisdom", "battle", "armour", "castle", "knight",
+    "herring", "ducat", "farthing", "merchant", "vessel", "harbour", "voyage", "tempest",
+    "wherefore", "thither", "hither", "anon", "prithee", "forsooth", "verily", "methinks",
+    "cousin", "uncle", "nephew", "daughter", "mother", "father", "brother", "sister",
+];
+
+/// Produces a space-separated sentence of `n` words.
+pub fn sentence(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::with_capacity(n * 8);
+    for i in 0..n.max(1) {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sentence_has_requested_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 5);
+        assert_eq!(s.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn zero_words_yields_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sentence(&mut rng, 0).split(' ').count(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = sentence(&mut StdRng::seed_from_u64(7), 8);
+        let b = sentence(&mut StdRng::seed_from_u64(7), 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,363 @@
+//! Location-path AST (paper §4.1): a path π is a sequence of |π| steps,
+//! each with an axis and a node test.
+
+use std::fmt;
+
+/// XPath axes supported by the engine.
+///
+/// The tree-navigation axes are supported; `following`/`preceding` (which
+/// cut across subtrees) and the attribute/namespace axes are outside the
+/// paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `self::` — the context node itself.
+    SelfAxis,
+    /// `child::`
+    Child,
+    /// `parent::`
+    Parent,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `following::` — everything after the context node in document
+    /// order, except its descendants.
+    Following,
+    /// `preceding::` — everything before the context node in document
+    /// order, except its ancestors.
+    Preceding,
+}
+
+impl Axis {
+    /// True for axes that move down or stay (self/child/descendant…),
+    /// false for upward axes (parent/ancestor…) and sibling axes.
+    pub fn is_downward(self) -> bool {
+        matches!(
+            self,
+            Axis::SelfAxis | Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+        )
+    }
+
+    /// The XPath spelling of the axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::SelfAxis => "self",
+            Axis::Child => "child",
+            Axis::Parent => "parent",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+        }
+    }
+
+    /// All supported axes (useful for property tests).
+    pub const ALL: [Axis; 11] = [
+        Axis::SelfAxis,
+        Axis::Child,
+        Axis::Parent,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Ancestor,
+        Axis::AncestorOrSelf,
+        Axis::FollowingSibling,
+        Axis::PrecedingSibling,
+        Axis::Following,
+        Axis::Preceding,
+    ];
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Node tests. The paper models tests as subsets of the tag alphabet Σ;
+/// these constructors cover the forms appearing in XPath practice.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// `name` — elements with this tag.
+    Name(String),
+    /// `*` — any element.
+    AnyElement,
+    /// `node()` — any node, including text.
+    AnyNode,
+    /// `text()` — text nodes only.
+    Text,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::AnyElement => f.write_str("*"),
+            NodeTest::AnyNode => f.write_str("node()"),
+            NodeTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+/// One location step: `axis::node-test`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// The step's axis.
+    pub axis: Axis,
+    /// The step's node test.
+    pub test: NodeTest,
+}
+
+impl Step {
+    /// Convenience constructor.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Self { axis, test }
+    }
+
+    /// `child::name`.
+    pub fn child(name: &str) -> Self {
+        Self::new(Axis::Child, NodeTest::Name(name.into()))
+    }
+
+    /// `descendant::name`.
+    pub fn descendant(name: &str) -> Self {
+        Self::new(Axis::Descendant, NodeTest::Name(name.into()))
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.axis, self.test)
+    }
+}
+
+/// A location path π: steps π₁ … π_|π| evaluated left to right from a
+/// context node. All paths in this engine are rooted at an explicit context
+/// (for absolute paths, the document root).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LocationPath {
+    /// The steps in order; `steps.len() == |π|`.
+    pub steps: Vec<Step>,
+}
+
+impl LocationPath {
+    /// Path with the given steps.
+    pub fn new(steps: Vec<Step>) -> Self {
+        Self { steps }
+    }
+
+    /// Number of location steps |π|.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the path has no steps (evaluates to the context node).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Adjusts an *absolute* path for evaluation with the root **element**
+    /// as context. XPath absolute paths start at the document node (the
+    /// root element's invisible parent); pathix stores no document node, so
+    /// a leading `child::T` becomes `self::T` and a leading
+    /// `descendant::T` becomes `descendant-or-self::T`. Result-equivalent
+    /// for element results.
+    pub fn rooted(&self) -> LocationPath {
+        let mut steps = self.steps.clone();
+        if let Some(first) = steps.first_mut() {
+            first.axis = match first.axis {
+                Axis::Child => Axis::SelfAxis,
+                Axis::Descendant => Axis::DescendantOrSelf,
+                other => other,
+            };
+        }
+        LocationPath::new(steps)
+    }
+
+    /// Collapses `descendant-or-self::node()` followed by a child step into
+    /// a single `descendant` step (the standard `//` optimization), and
+    /// removes `self::node()` steps. Result-equivalent under node-set
+    /// semantics.
+    pub fn normalize(&self) -> LocationPath {
+        let mut out: Vec<Step> = Vec::with_capacity(self.steps.len());
+        let mut i = 0;
+        while i < self.steps.len() {
+            let s = &self.steps[i];
+            let is_dos_node = s.axis == Axis::DescendantOrSelf && s.test == NodeTest::AnyNode;
+            if is_dos_node {
+                if let Some(next) = self.steps.get(i + 1) {
+                    if next.axis == Axis::Child {
+                        out.push(Step::new(Axis::Descendant, next.test.clone()));
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            if s.axis == Axis::SelfAxis && s.test == NodeTest::AnyNode {
+                i += 1;
+                continue;
+            }
+            out.push(s.clone());
+            i += 1;
+        }
+        LocationPath::new(out)
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return f.write_str("/");
+        }
+        for s in &self.steps {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A query expression: a bare path, `count(path)`, or a sum of
+/// sub-expressions — the fragment covering the paper's Tab. 2 queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A location path returning a node set.
+    Path(LocationPath),
+    /// `count(path)`.
+    Count(LocationPath),
+    /// `e₁ + e₂ + …`.
+    Sum(Vec<Query>),
+}
+
+impl Query {
+    /// All location paths mentioned by the query, left to right.
+    pub fn paths(&self) -> Vec<&LocationPath> {
+        match self {
+            Query::Path(p) | Query::Count(p) => vec![p],
+            Query::Sum(qs) => qs.iter().flat_map(|q| q.paths()).collect(),
+        }
+    }
+
+    /// Applies [`LocationPath::rooted`] to every path of the query.
+    pub fn rooted(&self) -> Query {
+        match self {
+            Query::Path(p) => Query::Path(p.rooted()),
+            Query::Count(p) => Query::Count(p.rooted()),
+            Query::Sum(qs) => Query::Sum(qs.iter().map(|q| q.rooted()).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Path(p) => write!(f, "{p}"),
+            Query::Count(p) => write!(f, "count({p})"),
+            Query::Sum(qs) => {
+                for (i, q) in qs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("+")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let p = LocationPath::new(vec![
+            Step::child("site"),
+            Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+            Step::child("item"),
+        ]);
+        assert_eq!(
+            p.to_string(),
+            "/child::site/descendant-or-self::node()/child::item"
+        );
+    }
+
+    #[test]
+    fn normalize_collapses_slash_slash() {
+        let p = LocationPath::new(vec![
+            Step::child("a"),
+            Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+            Step::child("b"),
+        ]);
+        let n = p.normalize();
+        assert_eq!(
+            n,
+            LocationPath::new(vec![Step::child("a"), Step::descendant("b")])
+        );
+    }
+
+    #[test]
+    fn normalize_keeps_trailing_dos() {
+        let p = LocationPath::new(vec![
+            Step::child("a"),
+            Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+        ]);
+        assert_eq!(p.normalize(), p);
+    }
+
+    #[test]
+    fn normalize_drops_self_node() {
+        let p = LocationPath::new(vec![
+            Step::new(Axis::SelfAxis, NodeTest::AnyNode),
+            Step::child("a"),
+        ]);
+        assert_eq!(p.normalize(), LocationPath::new(vec![Step::child("a")]));
+    }
+
+    #[test]
+    fn rooted_adjusts_leading_step() {
+        let p = LocationPath::new(vec![Step::child("site"), Step::child("regions")]);
+        let r = p.rooted();
+        assert_eq!(r.steps[0], Step::new(Axis::SelfAxis, NodeTest::Name("site".into())));
+        assert_eq!(r.steps[1], Step::child("regions"));
+        let d = LocationPath::new(vec![Step::descendant("item")]).rooted();
+        assert_eq!(
+            d.steps[0],
+            Step::new(Axis::DescendantOrSelf, NodeTest::Name("item".into()))
+        );
+        // `//x` (d-o-s::node() + child) is left intact.
+        let dd = LocationPath::new(vec![
+            Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+            Step::child("x"),
+        ]);
+        assert_eq!(dd.rooted(), dd);
+    }
+
+    #[test]
+    fn query_paths_collects_all() {
+        let q = Query::Sum(vec![
+            Query::Count(LocationPath::new(vec![Step::child("a")])),
+            Query::Count(LocationPath::new(vec![Step::child("b")])),
+        ]);
+        assert_eq!(q.paths().len(), 2);
+    }
+
+    #[test]
+    fn axis_downward_classification() {
+        assert!(Axis::Child.is_downward());
+        assert!(Axis::DescendantOrSelf.is_downward());
+        assert!(!Axis::Parent.is_downward());
+        assert!(!Axis::FollowingSibling.is_downward());
+    }
+}

@@ -1,0 +1,270 @@
+//! Reference evaluator over the in-memory document tree.
+//!
+//! This implements the *logical* semantics of location paths (node-set:
+//! distinct nodes in document order) directly on [`pathix_xml::Document`].
+//! It is intentionally simple — a per-step breadth expansion with
+//! deduplication — and serves as the correctness oracle against which every
+//! physical plan in `pathix-core` is property-tested.
+
+use crate::ast::{Axis, LocationPath, NodeTest, Query, Step};
+use pathix_xml::{Document, NodeRef};
+use std::collections::HashSet;
+
+/// Result of evaluating a [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryValue {
+    /// Node-set result, distinct, in document order.
+    Nodes(Vec<NodeRef>),
+    /// Numeric result of `count(...)` or a sum.
+    Number(u64),
+}
+
+impl QueryValue {
+    /// The numeric value (count of nodes for node-set results).
+    pub fn as_number(&self) -> u64 {
+        match self {
+            QueryValue::Nodes(v) => v.len() as u64,
+            QueryValue::Number(n) => *n,
+        }
+    }
+}
+
+fn test_matches(doc: &Document, node: NodeRef, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Name(n) => doc.tag_name(node) == Some(n.as_str()),
+        NodeTest::AnyElement => doc.is_element(node),
+        NodeTest::AnyNode => true,
+        NodeTest::Text => !doc.is_element(node),
+    }
+}
+
+fn axis_nodes(doc: &Document, node: NodeRef, axis: Axis, out: &mut Vec<NodeRef>) {
+    match axis {
+        Axis::SelfAxis => out.push(node),
+        Axis::Child => out.extend(doc.children(node)),
+        Axis::Parent => out.extend(doc.parent(node)),
+        Axis::Descendant => out.extend(doc.descendants(node)),
+        Axis::DescendantOrSelf => out.extend(doc.descendants_or_self(node)),
+        Axis::Ancestor => {
+            let mut cur = doc.parent(node);
+            while let Some(n) = cur {
+                out.push(n);
+                cur = doc.parent(n);
+            }
+        }
+        Axis::AncestorOrSelf => {
+            let mut cur = Some(node);
+            while let Some(n) = cur {
+                out.push(n);
+                cur = doc.parent(n);
+            }
+        }
+        Axis::FollowingSibling => {
+            out.extend(std::iter::successors(doc.next_sibling(node), |&n| {
+                doc.next_sibling(n)
+            }));
+        }
+        Axis::PrecedingSibling => {
+            out.extend(std::iter::successors(doc.prev_sibling(node), |&n| {
+                doc.prev_sibling(n)
+            }));
+        }
+        Axis::Following => {
+            // Siblings after each ancestor-or-self, with their subtrees.
+            let mut cur = Some(node);
+            while let Some(c) = cur {
+                let mut s = doc.next_sibling(c);
+                while let Some(sib) = s {
+                    out.extend(doc.descendants_or_self(sib));
+                    s = doc.next_sibling(sib);
+                }
+                cur = doc.parent(c);
+            }
+        }
+        Axis::Preceding => {
+            // Siblings before each ancestor-or-self, with their subtrees.
+            let mut cur = Some(node);
+            while let Some(c) = cur {
+                let mut s = doc.prev_sibling(c);
+                while let Some(sib) = s {
+                    out.extend(doc.descendants_or_self(sib));
+                    s = doc.prev_sibling(sib);
+                }
+                cur = doc.parent(c);
+            }
+        }
+    }
+}
+
+/// Evaluates one step from a set of context nodes, with deduplication.
+fn eval_step(doc: &Document, context: &[NodeRef], step: &Step) -> Vec<NodeRef> {
+    let mut seen: HashSet<NodeRef> = HashSet::with_capacity(context.len());
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    for &c in context {
+        scratch.clear();
+        axis_nodes(doc, c, step.axis, &mut scratch);
+        for &n in &scratch {
+            if test_matches(doc, n, &step.test) && seen.insert(n) {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a location path from `context`, returning distinct result
+/// nodes in document order.
+pub fn eval_path(doc: &Document, context: NodeRef, path: &LocationPath) -> Vec<NodeRef> {
+    let mut current = vec![context];
+    for step in &path.steps {
+        current = eval_step(doc, &current, step);
+        if current.is_empty() {
+            break;
+        }
+    }
+    let ranks = doc.preorder_ranks();
+    current.sort_by_key(|n| ranks[n.0 as usize]);
+    current
+}
+
+/// Evaluates a query expression from `context`.
+pub fn eval_query(doc: &Document, context: NodeRef, query: &Query) -> QueryValue {
+    match query {
+        Query::Path(p) => QueryValue::Nodes(eval_path(doc, context, p)),
+        Query::Count(p) => QueryValue::Number(eval_path(doc, context, p).len() as u64),
+        Query::Sum(qs) => QueryValue::Number(
+            qs.iter()
+                .map(|q| eval_query(doc, context, q).as_number())
+                .sum(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_path, parse_query};
+    use pathix_xml::parse;
+
+    fn doc() -> Document {
+        parse(concat!(
+            "<site>",
+            "<regions><eu><item><name>n1</name></item><item/></eu>",
+            "<us><item><sub><item/></sub></item></us></regions>",
+            "<people><person><email>e</email></person></people>",
+            "</site>"
+        ))
+        .unwrap()
+    }
+
+    fn tags(doc: &Document, nodes: &[NodeRef]) -> Vec<String> {
+        nodes
+            .iter()
+            .map(|&n| doc.tag_name(n).unwrap_or("#text").to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn child_steps() {
+        let d = doc();
+        let r = eval_path(&d, d.root(), &parse_path("/regions/eu/item").unwrap());
+        assert_eq!(r.len(), 2);
+        assert_eq!(tags(&d, &r), vec!["item", "item"]);
+    }
+
+    #[test]
+    fn descendant_finds_nested() {
+        let d = doc();
+        let r = eval_path(&d, d.root(), &parse_path("/regions//item").unwrap());
+        assert_eq!(r.len(), 4); // 2 in eu, nested pair in us
+    }
+
+    #[test]
+    fn result_is_document_order_and_distinct() {
+        let d = doc();
+        // ancestor-or-self from multiple items yields shared ancestors once.
+        let r = eval_path(
+            &d,
+            d.root(),
+            &parse_path("//item/ancestor-or-self::*").unwrap(),
+        );
+        let ranks = d.preorder_ranks();
+        let rs: Vec<u64> = r.iter().map(|n| ranks[n.0 as usize]).collect();
+        let mut sorted = rs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(rs, sorted, "must be distinct and in document order");
+    }
+
+    #[test]
+    fn parent_axis() {
+        let d = doc();
+        let r = eval_path(&d, d.root(), &parse_path("//email/..").unwrap());
+        assert_eq!(tags(&d, &r), vec!["person"]);
+    }
+
+    #[test]
+    fn text_kind_test() {
+        let d = doc();
+        let r = eval_path(&d, d.root(), &parse_path("//name/text()").unwrap());
+        assert_eq!(r.len(), 1);
+        assert_eq!(d.text(r[0]), Some("n1"));
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let d = pathix_xml::parse("<a><b/><c/><d/></a>").unwrap();
+        let r = eval_path(&d, d.root(), &parse_path("/b/following-sibling::*").unwrap());
+        assert_eq!(tags(&d, &r), vec!["c", "d"]);
+        let r = eval_path(&d, d.root(), &parse_path("/d/preceding-sibling::*").unwrap());
+        assert_eq!(tags(&d, &r), vec!["b", "c"]);
+    }
+
+    #[test]
+    fn following_and_preceding() {
+        let d = pathix_xml::parse("<a><b><x/></b><c><y/></c><e/></a>").unwrap();
+        let r = eval_path(&d, d.root(), &parse_path("//x/following::*").unwrap());
+        assert_eq!(tags(&d, &r), vec!["c", "y", "e"]);
+        let r = eval_path(&d, d.root(), &parse_path("//y/preceding::*").unwrap());
+        assert_eq!(tags(&d, &r), vec!["b", "x"]);
+        // preceding excludes ancestors; following excludes descendants.
+        let r = eval_path(&d, d.root(), &parse_path("/b/following::node()").unwrap());
+        assert_eq!(r.len(), 3); // c, y, e — none of b's subtree
+    }
+
+    #[test]
+    fn empty_path_yields_context() {
+        let d = doc();
+        let r = eval_path(&d, d.root(), &parse_path("/").unwrap());
+        assert_eq!(r, vec![d.root()]);
+    }
+
+    #[test]
+    fn count_and_sum_queries() {
+        let d = doc();
+        let v = eval_query(&d, d.root(), &parse_query("count(//item)").unwrap());
+        assert_eq!(v, QueryValue::Number(4));
+        let v = eval_query(
+            &d,
+            d.root(),
+            &parse_query("count(//item)+count(//email)").unwrap(),
+        );
+        assert_eq!(v, QueryValue::Number(5));
+    }
+
+    #[test]
+    fn normalized_path_equivalent() {
+        let d = doc();
+        let p = parse_path("/regions//item").unwrap();
+        let n = p.normalize();
+        assert_ne!(p, n);
+        assert_eq!(eval_path(&d, d.root(), &p), eval_path(&d, d.root(), &n));
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let d = doc();
+        assert!(eval_path(&d, d.root(), &parse_path("/nothing//here").unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # pathix-xpath
+//!
+//! XPath *location paths* — the query fragment the paper's physical algebra
+//! evaluates (§4.1): a sequence of steps, each an axis plus a node test.
+//!
+//! This crate provides:
+//!
+//! * the [`LocationPath`] / [`Step`] AST and the [`Query`] expression layer
+//!   (`count(p)`, sums of counts — enough for XMark Q6', Q7, Q15),
+//! * a hand-written [`parse_query`] / [`parse_path`] parser with the `/`,
+//!   `//`, `.` and `..` abbreviations,
+//! * a [`normalize`](ast::LocationPath::normalize) pass collapsing
+//!   `descendant-or-self::node()/child::T` into `descendant::T`,
+//! * a reference [`eval_path`] evaluator over the in-memory
+//!   [`pathix_xml::Document`], with XPath node-set semantics (distinct
+//!   nodes, document order). It is the correctness oracle for every
+//!   physical plan in `pathix-core`.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Axis, LocationPath, NodeTest, Query, Step};
+pub use eval::{eval_path, eval_query, QueryValue};
+pub use parser::{parse_path, parse_query, PathParseError};

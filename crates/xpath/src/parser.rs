@@ -1,0 +1,334 @@
+//! Parser for location paths and the `count(...)+count(...)` expression
+//! layer used by the XMark queries in the paper's Tab. 2.
+
+use crate::ast::{Axis, LocationPath, NodeTest, Query, Step};
+use std::fmt;
+
+/// Parse failure for paths/queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T, PathParseError> {
+        Err(PathParseError {
+            offset: self.pos,
+            message: m.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.s[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Option<&'a str> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            None
+        } else {
+            std::str::from_utf8(&self.s[start..self.pos]).ok()
+        }
+    }
+
+    /// Parses one step expression (after a `/`): `.`, `..`,
+    /// `axis::node-test`, or an abbreviated node test (implying `child`).
+    fn step(&mut self) -> Result<Step, PathParseError> {
+        if self.eat("..") {
+            return Ok(Step::new(Axis::Parent, NodeTest::AnyNode));
+        }
+        if self.eat(".") {
+            return Ok(Step::new(Axis::SelfAxis, NodeTest::AnyNode));
+        }
+        if self.eat("*") {
+            return Ok(Step::new(Axis::Child, NodeTest::AnyElement));
+        }
+        let save = self.pos;
+        let Some(word) = self.name() else {
+            return self.err("expected step");
+        };
+        // Axis prefix?
+        if self.eat("::") {
+            let axis = match word {
+                "self" => Axis::SelfAxis,
+                "child" => Axis::Child,
+                "parent" => Axis::Parent,
+                "descendant" => Axis::Descendant,
+                "descendant-or-self" => Axis::DescendantOrSelf,
+                "ancestor" => Axis::Ancestor,
+                "ancestor-or-self" => Axis::AncestorOrSelf,
+                "following-sibling" => Axis::FollowingSibling,
+                "preceding-sibling" => Axis::PrecedingSibling,
+                "following" => Axis::Following,
+                "preceding" => Axis::Preceding,
+                other => return self.err(format!("unsupported axis `{other}`")),
+            };
+            let test = self.node_test()?;
+            return Ok(Step::new(axis, test));
+        }
+        // Abbreviated: `name` or `name()` kind tests.
+        self.pos = save;
+        let test = self.node_test()?;
+        Ok(Step::new(Axis::Child, test))
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, PathParseError> {
+        if self.eat("*") {
+            return Ok(NodeTest::AnyElement);
+        }
+        let Some(word) = self.name() else {
+            return self.err("expected node test");
+        };
+        if self.eat("()") {
+            return match word {
+                "node" => Ok(NodeTest::AnyNode),
+                "text" => Ok(NodeTest::Text),
+                other => self.err(format!("unsupported kind test `{other}()`")),
+            };
+        }
+        Ok(NodeTest::Name(word.to_owned()))
+    }
+
+    /// Parses a location path. Must start with `/` or `//` (all pathix
+    /// queries are absolute — they are evaluated against an explicit
+    /// context node supplied by the caller).
+    fn path(&mut self) -> Result<LocationPath, PathParseError> {
+        let mut steps = Vec::new();
+        if !matches!(self.peek(), Some(b'/')) {
+            return self.err("expected `/` or `//`");
+        }
+        loop {
+            if self.eat("//") {
+                steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode));
+            } else if !self.eat("/") {
+                break;
+            }
+            // Root-only path: "/" with nothing after.
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b')' | b'+') => break,
+                _ => {}
+            }
+            steps.push(self.step()?);
+            self.skip_ws();
+            if !matches!(self.peek(), Some(b'/')) {
+                break;
+            }
+        }
+        Ok(LocationPath::new(steps))
+    }
+
+    fn term(&mut self) -> Result<Query, PathParseError> {
+        self.skip_ws();
+        let save = self.pos;
+        if let Some(word) = self.name() {
+            if word == "count" {
+                self.skip_ws();
+                if self.eat("(") {
+                    self.skip_ws();
+                    let p = self.path()?;
+                    self.skip_ws();
+                    if !self.eat(")") {
+                        return self.err("expected `)`");
+                    }
+                    return Ok(Query::Count(p));
+                }
+            }
+            self.pos = save;
+        }
+        Ok(Query::Path(self.path()?))
+    }
+
+    fn query(&mut self) -> Result<Query, PathParseError> {
+        let mut terms = vec![self.term()?];
+        loop {
+            self.skip_ws();
+            if self.eat("+") {
+                terms.push(self.term()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.s.len() {
+            return self.err("trailing input");
+        }
+        if terms.len() == 1 {
+            Ok(terms.pop().expect("one term"))
+        } else {
+            Ok(Query::Sum(terms))
+        }
+    }
+}
+
+/// Parses a location path like `/site/regions//item`.
+pub fn parse_path(input: &str) -> Result<LocationPath, PathParseError> {
+    let mut p = P {
+        s: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let path = p.path()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return p.err("trailing input");
+    }
+    Ok(path)
+}
+
+/// Parses a query: a path, `count(path)`, or a `+`-sum of such terms.
+pub fn parse_query(input: &str) -> Result<Query, PathParseError> {
+    let mut p = P {
+        s: input.as_bytes(),
+        pos: 0,
+    };
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_children() {
+        let p = parse_path("/site/regions").unwrap();
+        assert_eq!(p.steps, vec![Step::child("site"), Step::child("regions")]);
+    }
+
+    #[test]
+    fn double_slash_expands() {
+        let p = parse_path("/a//b").unwrap();
+        assert_eq!(
+            p.steps,
+            vec![
+                Step::child("a"),
+                Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+                Step::child("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_double_slash() {
+        let p = parse_path("//item").unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let p = parse_path("/descendant::item/parent::*/ancestor-or-self::node()").unwrap();
+        assert_eq!(p.steps[0], Step::descendant("item"));
+        assert_eq!(p.steps[1], Step::new(Axis::Parent, NodeTest::AnyElement));
+        assert_eq!(
+            p.steps[2],
+            Step::new(Axis::AncestorOrSelf, NodeTest::AnyNode)
+        );
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let p = parse_path("/a/./..").unwrap();
+        assert_eq!(p.steps[1], Step::new(Axis::SelfAxis, NodeTest::AnyNode));
+        assert_eq!(p.steps[2], Step::new(Axis::Parent, NodeTest::AnyNode));
+    }
+
+    #[test]
+    fn kind_tests() {
+        let p = parse_path("/a/text()/node()").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Text);
+        assert_eq!(p.steps[2].test, NodeTest::AnyNode);
+    }
+
+    #[test]
+    fn root_only() {
+        let p = parse_path("/").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn count_query() {
+        let q = parse_query("count(/site/regions//item)").unwrap();
+        match q {
+            Query::Count(p) => assert_eq!(p.steps.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q7_sum_of_counts() {
+        let q = parse_query(
+            "count(/site//description)+count(/site//annotation)+count(/site//email)",
+        )
+        .unwrap();
+        match q {
+            Query::Sum(ts) => {
+                assert_eq!(ts.len(), 3);
+                assert!(matches!(ts[0], Query::Count(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn q15_deep_path() {
+        let q15 = "/site/closed_auctions/closed_auction/annotation/description/parlist\
+                   /listitem/parlist/listitem/text/emph/keyword";
+        let p = parse_path(q15).unwrap();
+        assert_eq!(p.steps.len(), 12);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Child));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_path("site").is_err());
+        assert!(parse_path("/a/junk::b").is_err());
+        assert!(parse_path("/a extra").is_err());
+        assert!(parse_query("count(/a").is_err());
+        assert!(parse_query("count(/a) + ").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated_in_query() {
+        let q = parse_query(" count( /a ) + count( /b ) ").unwrap();
+        assert!(matches!(q, Query::Sum(_)));
+    }
+}

@@ -1,0 +1,352 @@
+//! High-level facade: build a clustered store from a document and run
+//! queries with any of the paper's three physical methods.
+
+use pathix_core::{
+    execute_interleaved, execute_path, execute_paths_shared_scan, execute_query,
+    ConcurrentRun, ExecReport, Method, MultiPathRun, Optimizer, PlanConfig, PlanEstimate,
+    PathRun, QueryRun,
+};
+use pathix_storage::{
+    BufferParams, Device, DiskProfile, MemDevice, QueuePolicy, SimClock, SimDisk,
+};
+use pathix_tree::{import_into, ImportConfig, ImportReport, NodeId, Placement, TreeStore};
+use pathix_xml::Document;
+use pathix_xpath::{parse_path, parse_query, PathParseError};
+use std::fmt;
+use std::rc::Rc;
+
+/// Which device backs the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Simulated disk with the default 2005-era profile (the benchmark
+    /// substrate).
+    SimDisk,
+    /// Simulated disk that never reorders its command queue (ablations).
+    SimDiskFifo,
+    /// Zero-latency in-memory device (tests, logic-only runs).
+    Mem,
+}
+
+/// Database construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct DatabaseOptions {
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Physical placement of clusters.
+    pub placement: Placement,
+    /// Buffer capacity in pages.
+    pub buffer_pages: usize,
+    /// Backing device.
+    pub device: DeviceKind,
+    /// Disk cost profile (for the simulated devices).
+    pub profile: DiskProfile,
+}
+
+impl Default for DatabaseOptions {
+    fn default() -> Self {
+        Self {
+            page_size: 8192,
+            // A moderately aged database: DFS runs of 16 clusters stay
+            // sequential, chunks are permuted (see DESIGN.md).
+            placement: Placement::ChunkShuffled {
+                chunk: 16,
+                seed: 0xA6E,
+            },
+            buffer_pages: 1000, // the paper's Natix configuration
+            device: DeviceKind::SimDisk,
+            profile: DiskProfile::default(),
+        }
+    }
+}
+
+/// Facade errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// Query/path text did not parse.
+    Parse(PathParseError),
+    /// The document could not be stored (e.g. an oversized record).
+    Import(pathix_tree::import::ImportError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Import(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<PathParseError> for DbError {
+    fn from(e: PathParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+impl From<pathix_tree::import::ImportError> for DbError {
+    fn from(e: pathix_tree::import::ImportError) -> Self {
+        DbError::Import(e)
+    }
+}
+
+/// A stored document plus everything needed to query it.
+pub struct Database {
+    store: TreeStore,
+    import_report: ImportReport,
+}
+
+impl Database {
+    /// Imports `doc` into a fresh device.
+    pub fn from_document(doc: &Document, opts: &DatabaseOptions) -> Result<Self, DbError> {
+        let mut device: Box<dyn Device> = match opts.device {
+            DeviceKind::SimDisk => {
+                Box::new(SimDisk::with_profile(opts.page_size, opts.profile))
+            }
+            DeviceKind::SimDiskFifo => {
+                let mut d = SimDisk::with_profile(opts.page_size, opts.profile);
+                d.set_policy(QueuePolicy::Fifo);
+                Box::new(d)
+            }
+            DeviceKind::Mem => Box::new(MemDevice::new(opts.page_size)),
+        };
+        let cfg = ImportConfig {
+            page_size: opts.page_size,
+            placement: opts.placement,
+        };
+        let (meta, import_report) = import_into(device.as_mut(), doc, &cfg)?;
+        let store = TreeStore::open(
+            device,
+            meta,
+            BufferParams {
+                capacity: opts.buffer_pages,
+                ..Default::default()
+            },
+            Rc::new(SimClock::new()),
+        );
+        Ok(Self {
+            store,
+            import_report,
+        })
+    }
+
+    /// Parses XML text and imports it.
+    pub fn from_xml(xml: &str, opts: &DatabaseOptions) -> Result<Self, DbError> {
+        let doc = pathix_xml::parse(xml).map_err(|e| {
+            DbError::Parse(PathParseError {
+                offset: e.offset,
+                message: format!("XML: {}", e.message),
+            })
+        })?;
+        Self::from_document(&doc, opts)
+    }
+
+    /// Generates an XMark-shaped document at `scale` and imports it.
+    pub fn from_xmark(scale: f64, opts: &DatabaseOptions) -> Result<Self, DbError> {
+        let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(scale));
+        Self::from_document(&doc, opts)
+    }
+
+    /// The underlying store (direct access for advanced use).
+    pub fn store(&self) -> &TreeStore {
+        &self.store
+    }
+
+    /// Statistics of the initial import.
+    pub fn import_report(&self) -> ImportReport {
+        self.import_report
+    }
+
+    /// Number of pages the document occupies.
+    pub fn pages(&self) -> u32 {
+        self.store.meta.page_count
+    }
+
+    /// Runs a query string (`/a/b`, `count(...)`, sums of counts) with the
+    /// given method and default plan options.
+    pub fn run(&self, query: &str, method: Method) -> Result<QueryRun, DbError> {
+        self.run_with(query, &PlanConfig::new(method))
+    }
+
+    /// Runs a query string with full plan configuration.
+    pub fn run_with(&self, query: &str, cfg: &PlanConfig) -> Result<QueryRun, DbError> {
+        let q = parse_query(query)?.rooted();
+        Ok(execute_query(&self.store, &q, cfg))
+    }
+
+    /// Runs a bare location path, returning the result nodes.
+    pub fn run_path(&self, path: &str, cfg: &PlanConfig) -> Result<PathRun, DbError> {
+        let p = parse_path(path)?.rooted();
+        Ok(execute_path(&self.store, &p, cfg))
+    }
+
+    /// Runs a location path from explicit context nodes.
+    pub fn run_path_from(
+        &self,
+        path: &str,
+        contexts: Vec<NodeId>,
+        cfg: &PlanConfig,
+    ) -> Result<PathRun, DbError> {
+        let p = parse_path(path)?;
+        Ok(pathix_core::plan::execute_path_from(
+            &self.store,
+            &p,
+            contexts,
+            cfg,
+        ))
+    }
+
+    /// Evaluates several location paths with **one** shared sequential scan
+    /// (the paper's multi-path extension). Paths are rooted like `run`.
+    pub fn run_multi(&self, paths: &[&str], cfg: &PlanConfig) -> Result<MultiPathRun, DbError> {
+        let parsed: Vec<pathix_xpath::LocationPath> = paths
+            .iter()
+            .map(|p| parse_path(p).map(|x| x.rooted()))
+            .collect::<Result<_, _>>()?;
+        Ok(execute_paths_shared_scan(&self.store, &parsed, cfg))
+    }
+
+    /// Runs several `(path, method)` plans concurrently, interleaved on the
+    /// shared device.
+    pub fn run_concurrent(
+        &self,
+        work: &[(&str, Method)],
+        cfg: &PlanConfig,
+    ) -> Result<(Vec<ConcurrentRun>, ExecReport), DbError> {
+        let parsed: Vec<(pathix_xpath::LocationPath, Method)> = work
+            .iter()
+            .map(|(p, m)| parse_path(p).map(|x| (x.rooted(), *m)))
+            .collect::<Result<_, _>>()?;
+        Ok(execute_interleaved(&self.store, &parsed, cfg))
+    }
+
+    fn optimizer(&self) -> Optimizer<'_> {
+        let mut opt =
+            Optimizer::new(&self.store.meta, pathix_storage::DiskProfile::default());
+        // Two border nodes per inter-cluster edge, spread over the pages.
+        opt.borders_per_cluster = (2.0 * self.import_report.border_edges as f64
+            / self.store.meta.page_count.max(1) as f64)
+            .max(0.5);
+        opt
+    }
+
+    /// Cost-model estimate for a path (the outlook's optimizer): per-plan
+    /// cost predictions and the recommended I/O operator.
+    pub fn estimate(&self, path: &str) -> Result<PlanEstimate, DbError> {
+        let p = parse_path(path)?.rooted();
+        Ok(self.optimizer().estimate(&p))
+    }
+
+    /// Runs a query with the method the cost model recommends for its
+    /// (first) path.
+    pub fn run_auto(&self, query: &str) -> Result<(Method, QueryRun), DbError> {
+        let q = parse_query(query)?.rooted();
+        let opt = self.optimizer();
+        let method = q
+            .paths()
+            .first()
+            .map(|p| opt.choose(p))
+            .unwrap_or(Method::xschedule());
+        let run = execute_query(&self.store, &q, &PlanConfig::new(method));
+        Ok((method, run))
+    }
+
+    /// Mutating handle for in-place updates (inserts, deletes, text
+    /// updates). Drop all `Arc<Cluster>` handles before updating.
+    pub fn updater(&mut self) -> pathix_tree::TreeUpdater<'_> {
+        pathix_tree::TreeUpdater::new(&mut self.store)
+    }
+
+    /// Attaches a write-ahead log: subsequent updates log page after-images
+    /// before writing; `TreeUpdater::commit()` flushes it.
+    pub fn store_mut_attach_wal(
+        &mut self,
+        wal: std::rc::Rc<std::cell::RefCell<pathix_storage::WriteAheadLog>>,
+    ) {
+        self.store.attach_wal(wal);
+    }
+
+    /// Reconstructs the logical document (structural walk).
+    pub fn export(&self) -> pathix_xml::Document {
+        pathix_tree::export::export(&self.store)
+    }
+
+    /// Reconstructs the logical document with one sequential scan.
+    pub fn export_scan(&self) -> pathix_xml::Document {
+        pathix_tree::export::export_scan(&self.store)
+    }
+
+    /// Clears the buffer pool (cold-start the next query). Device
+    /// statistics and the clock are left running.
+    pub fn clear_buffers(&self) {
+        self.store.buffer.reset();
+    }
+
+    /// Resets device statistics and access trace.
+    pub fn reset_device_stats(&self) {
+        self.store.buffer.device_mut().reset_stats();
+    }
+
+    /// Enables device access tracing (see Example 1 reproduction).
+    pub fn trace_device(&self, enabled: bool) {
+        self.store.buffer.device_mut().set_trace(enabled);
+    }
+
+    /// The recorded page access order since the last stats reset.
+    pub fn device_trace(&self) -> Vec<u32> {
+        self.store.buffer.device_mut().access_trace().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_opts() -> DatabaseOptions {
+        DatabaseOptions {
+            page_size: 2048,
+            device: DeviceKind::Mem,
+            buffer_pages: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn xmark_counts_agree_across_methods() {
+        let db = Database::from_xmark(0.02, &mem_opts()).unwrap();
+        let q = "count(/site/regions//item)";
+        let a = db.run(q, Method::Simple).unwrap().value;
+        let b = db.run(q, Method::xschedule()).unwrap().value;
+        let c = db.run(q, Method::XScan).unwrap().value;
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn from_xml_roundtrip_query() {
+        let db = Database::from_xml("<a><b/><b/><c><b/></c></a>", &mem_opts()).unwrap();
+        let run = db.run("count(//b)", Method::XScan).unwrap();
+        assert_eq!(run.value, 3);
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let db = Database::from_xml("<a/>", &mem_opts()).unwrap();
+        assert!(matches!(db.run("junk", Method::Simple), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn sim_disk_accumulates_time() {
+        let opts = DatabaseOptions {
+            page_size: 2048,
+            buffer_pages: 8,
+            ..Default::default()
+        };
+        let db = Database::from_xmark(0.02, &opts).unwrap();
+        let run = db.run("count(//email)", Method::Simple).unwrap();
+        assert!(run.report.time.total_ns > 0);
+        assert!(run.report.time.io_wait_ns > 0);
+    }
+}
