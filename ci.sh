@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-merge gate for the pathix workspace. Run from the repository root:
+#
+#   ./ci.sh
+#
+# Stages, in order (each must pass before the next runs):
+#   1. cargo fmt --check      — formatting is canonical
+#   2. cargo build --release  — the workspace compiles with optimizations
+#   3. cargo test -q          — the tier-1 test suite
+#   4. pathix-lint check      — the R1-R4 architectural invariants
+#      (I/O confinement, determinism, panic-freedom, layering; see
+#      DESIGN.md "Statically enforced invariants")
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> pathix-lint check"
+cargo run -q -p pathix-lint -- check
+
+echo "ci: all gates passed"

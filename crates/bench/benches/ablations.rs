@@ -79,8 +79,11 @@ fn bench_fallback(c: &mut Criterion) {
     let mut group = c.benchmark_group("a4_fallback_limit");
     group.sample_size(10);
     let db = build_db(0.1);
-    for (name, limit) in [("unlimited", None), ("limit100", Some(100)), ("limit1", Some(1))]
-    {
+    for (name, limit) in [
+        ("unlimited", None),
+        ("limit100", Some(100)),
+        ("limit1", Some(1)),
+    ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
                 let mut cfg = PlanConfig::new(Method::XScan);
@@ -109,7 +112,10 @@ fn bench_buffer(c: &mut Criterion) {
 fn bench_device_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("a6_device_policy");
     group.sample_size(10);
-    for (name, kind) in [("sstf", DeviceKind::SimDisk), ("fifo", DeviceKind::SimDiskFifo)] {
+    for (name, kind) in [
+        ("sstf", DeviceKind::SimDisk),
+        ("fifo", DeviceKind::SimDiskFifo),
+    ] {
         let mut opts = bench_options();
         opts.device = kind;
         let db = build_db_with(0.1, &opts);

@@ -22,7 +22,7 @@ fn bench_shared_scan(c: &mut Criterion) {
                 &["/site//description", "/site//annotation", "/site//email"],
                 &PlanConfig::new(Method::XScan),
             )
-            .unwrap()
+            .expect("benchmark query set evaluates cleanly")
             .counts()
             .iter()
             .sum::<u64>()
@@ -52,7 +52,9 @@ fn bench_export(c: &mut Criterion) {
 
 fn bench_optimizer(c: &mut Criterion) {
     let db = build_db(0.1);
-    let path = pathix_xpath::parse_path("/site//description").unwrap().rooted();
+    let path = pathix_xpath::parse_path("/site//description")
+        .expect("static benchmark path parses")
+        .rooted();
     c.bench_function("e9_estimate", |b| {
         b.iter(|| {
             let opt = Optimizer::new(&db.store().meta, DiskProfile::default());

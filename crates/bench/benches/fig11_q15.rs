@@ -11,11 +11,9 @@ fn bench_fig11(c: &mut Criterion) {
     for sf in [0.1, 0.25] {
         let db = build_db(sf);
         for method in [Method::Simple, Method::xschedule(), Method::XScan] {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), sf),
-                &method,
-                |b, &m| b.iter(|| run_cold(&db, Q15, m).value),
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), sf), &method, |b, &m| {
+                b.iter(|| run_cold(&db, Q15, m).value)
+            });
         }
     }
     group.finish();

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pathix_storage::{BufferParams, MemDevice, SimClock};
 use pathix_tree::{
-    import_into, Entry, ImportConfig, NavCharge, NavCounters, NavParams, Placement,
-    ResolvedTest, StepCursor, TreeStore,
+    import_into, Entry, ImportConfig, NavCharge, NavCounters, NavParams, Placement, ResolvedTest,
+    StepCursor, TreeStore,
 };
 use pathix_xpath::{Axis, NodeTest};
 use std::rc::Rc;
@@ -22,7 +22,7 @@ fn store_for_micro() -> TreeStore {
             placement: Placement::Sequential,
         },
     )
-    .unwrap();
+    .expect("generated document imports cleanly");
     TreeStore::open(
         Box::new(dev),
         meta,
@@ -91,7 +91,9 @@ fn bench_xml(c: &mut Criterion) {
     let text = pathix_xml::serialize(&doc);
     let mut group = c.benchmark_group("xml");
     group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("parse", |b| b.iter(|| pathix_xml::parse(&text).unwrap()));
+    group.bench_function("parse", |b| {
+        b.iter(|| pathix_xml::parse(&text).expect("round-trip parses"))
+    });
     group.bench_function("serialize", |b| b.iter(|| pathix_xml::serialize(&doc)));
     group.finish();
 }
@@ -115,7 +117,7 @@ fn bench_import(c: &mut Criterion) {
                     placement: Placement::Sequential,
                 },
             )
-            .unwrap()
+            .expect("generated document imports cleanly")
             .1
             .clusters
         })

@@ -7,6 +7,9 @@
 //!              ablation-buffer ablation-device all
 //! ```
 
+// Stdout is this binary's output channel.
+#![allow(clippy::print_stdout)]
+
 use pathix_bench::table::{ratio, render, secs};
 use pathix_bench::*;
 
@@ -163,7 +166,11 @@ fn main() {
             .into_iter()
             .map(|(w, s)| {
                 vec![
-                    if w == 0 { "unbounded".into() } else { w.to_string() },
+                    if w == 0 {
+                        "unbounded".into()
+                    } else {
+                        w.to_string()
+                    },
                     secs(s),
                 ]
             })
@@ -247,9 +254,7 @@ fn main() {
         println!("== E9: cost-model choice of the I/O operator vs measured best (SF 1) ==");
         let rows: Vec<Vec<String>> = extension_optimizer(1.0)
             .into_iter()
-            .map(|(q, rec, best, rec_s, best_s)| {
-                vec![q, rec, best, secs(rec_s), secs(best_s)]
-            })
+            .map(|(q, rec, best, rec_s, best_s)| vec![q, rec, best, secs(rec_s), secs(best_s)])
             .collect();
         println!(
             "{}",
@@ -272,13 +277,18 @@ fn main() {
     }
     if has("ext-aging") {
         println!("== E11: aging a sequential database with random updates (Q6', SF 0.5) ==");
-        let rows: Vec<Vec<String>> =
-            extension_aging(0.5, &[0, 500, 2000, 5000])
-                .into_iter()
-                .map(|(ops, pages, s, x, sc)| {
-                    vec![ops.to_string(), pages.to_string(), secs(s), secs(x), secs(sc)]
-                })
-                .collect();
+        let rows: Vec<Vec<String>> = extension_aging(0.5, &[0, 500, 2000, 5000])
+            .into_iter()
+            .map(|(ops, pages, s, x, sc)| {
+                vec![
+                    ops.to_string(),
+                    pages.to_string(),
+                    secs(s),
+                    secs(x),
+                    secs(sc),
+                ]
+            })
+            .collect();
         println!(
             "{}",
             render(

@@ -13,8 +13,7 @@ use pathix_tree::Placement;
 /// The evaluated XMark queries (paper Tab. 2).
 pub const Q6: &str = "count(/site/regions//item)";
 /// Q7: prose counts.
-pub const Q7: &str =
-    "count(/site//description)+count(/site//annotation)+count(/site//email)";
+pub const Q7: &str = "count(/site//description)+count(/site//annotation)+count(/site//email)";
 /// Q15: the deep, highly selective chain.
 pub const Q15: &str = "/site/closed_auctions/closed_auction/annotation/description/parlist\
                        /listitem/parlist/listitem/text/emph/keyword";
@@ -233,7 +232,11 @@ pub fn ablation_fragmentation(scale: f64) -> Vec<(String, String, f64)> {
         let db = build_db_with(scale, &opts);
         for m in methods() {
             let run = run_cold(&db, Q6, m);
-            rows.push((pname.to_owned(), m.label().to_owned(), run.report.total_secs()));
+            rows.push((
+                pname.to_owned(),
+                m.label().to_owned(),
+                run.report.total_secs(),
+            ));
         }
     }
     rows
@@ -261,7 +264,11 @@ pub fn ablation_speculative(scale: f64) -> Vec<(bool, u64, f64)> {
                     speculative,
                 }),
             );
-            (speculative, run.report.device.reads, run.report.total_secs())
+            (
+                speculative,
+                run.report.device.reads,
+                run.report.total_secs(),
+            )
         })
         .collect()
 }
@@ -315,42 +322,6 @@ pub fn ablation_device_policy(scale: f64) -> Vec<(String, f64)> {
         rows.push((label.to_owned(), run.report.total_secs()));
     }
     rows
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn queries_parse() {
-        for (_, q) in QUERIES {
-            pathix_xpath::parse_query(q).expect("benchmark query parses");
-        }
-    }
-
-    #[test]
-    fn tiny_sweep_is_consistent() {
-        let rows = figure_sweep(Q6, &[0.02]);
-        assert_eq!(rows.len(), 1);
-        assert!(rows[0].value > 0);
-        assert!(rows[0].simple_s > 0.0);
-    }
-
-    #[test]
-    fn example1_traces_differ_between_plans() {
-        let rows = example1();
-        assert_eq!(rows.len(), 3);
-        let scan = rows.iter().find(|r| r.method == "XScan").unwrap();
-        // The scan visits pages in strictly increasing physical order.
-        let mut sorted = scan.trace.clone();
-        sorted.sort_unstable();
-        assert_eq!(scan.trace, sorted);
-        let simple = rows.iter().find(|r| r.method == "Simple").unwrap();
-        assert!(
-            simple.seek_distance > scan.seek_distance,
-            "simple must seek more than the scan"
-        );
-    }
 }
 
 /// Extension E7 (paper outlook): Q7's three paths evaluated with one shared
@@ -412,7 +383,9 @@ pub fn extension_optimizer(scale: f64) -> Vec<(String, String, String, f64, f64)
     QUERIES
         .iter()
         .map(|&(label, query)| {
-            let q = pathix_xpath::parse_query(query).unwrap().rooted();
+            let q = pathix_xpath::parse_query(query)
+                .expect("benchmark query table contains only valid XPath")
+                .rooted();
             let first = q.paths()[0].clone();
             let opt = pathix_core::Optimizer::new(
                 &db.store().meta,
@@ -447,8 +420,10 @@ pub fn extension_optimizer(scale: f64) -> Vec<(String, String, String, f64, f64)
 /// `(label, combined_s, seek_distance)`.
 pub fn extension_concurrent(scale: f64) -> Vec<(String, f64, u64)> {
     let mut rows = Vec::new();
-    for (label, method) in [("2 x Simple", Method::Simple), ("2 x XSchedule", Method::xschedule())]
-    {
+    for (label, method) in [
+        ("2 x Simple", Method::Simple),
+        ("2 x XSchedule", Method::xschedule()),
+    ] {
         let mut opts = bench_options();
         opts.placement = Placement::Shuffled { seed: 41 };
         let db = build_db_with(scale, &opts);
@@ -526,4 +501,43 @@ pub fn extension_aging(scale: f64, levels: &[usize]) -> Vec<(usize, u32, f64, f6
         ));
     }
     rows
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions may panic; the R3/unwrap contract covers hot-path code.
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn queries_parse() {
+        for (_, q) in QUERIES {
+            pathix_xpath::parse_query(q).expect("benchmark query parses");
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_is_consistent() {
+        let rows = figure_sweep(Q6, &[0.02]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].value > 0);
+        assert!(rows[0].simple_s > 0.0);
+    }
+
+    #[test]
+    fn example1_traces_differ_between_plans() {
+        let rows = example1();
+        assert_eq!(rows.len(), 3);
+        let scan = rows.iter().find(|r| r.method == "XScan").unwrap();
+        // The scan visits pages in strictly increasing physical order.
+        let mut sorted = scan.trace.clone();
+        sorted.sort_unstable();
+        assert_eq!(scan.trace, sorted);
+        let simple = rows.iter().find(|r| r.method == "Simple").unwrap();
+        assert!(
+            simple.seek_distance > scan.seek_distance,
+            "simple must seek more than the scan"
+        );
+    }
 }

@@ -12,6 +12,7 @@
 //! *both* queries.
 
 use crate::context::ExecCtx;
+use crate::error::ExecError;
 use crate::instance::REnd;
 use crate::ops::Operator;
 use crate::plan::{build_plan_public, Method, PlanConfig};
@@ -30,11 +31,14 @@ pub struct ConcurrentRun {
 
 /// Runs all `(path, method)` pairs concurrently (interleaved on the shared
 /// simulated device) and reports the combined cost.
+///
+/// Fails with [`ExecError::UnexpectedEnd`] if any plan breaks the output
+/// contract (a bug in the operator tree, never the caller's input).
 pub fn execute_interleaved(
     store: &TreeStore,
     work: &[(LocationPath, Method)],
     cfg: &PlanConfig,
-) -> (Vec<ConcurrentRun>, ExecReport) {
+) -> Result<(Vec<ConcurrentRun>, ExecReport), ExecError> {
     let clock0 = store.clock().breakdown();
     let buf0 = store.buffer.stats();
     let dev0 = store.buffer.device_stats();
@@ -50,7 +54,11 @@ pub fn execute_interleaved(
     let mut slots: Vec<Slot<'_>> = work
         .iter()
         .map(|(path, method)| {
-            let path = if cfg.normalize { path.normalize() } else { path.clone() };
+            let path = if cfg.normalize {
+                path.normalize()
+            } else {
+                path.clone()
+            };
             let cx = ExecCtx::new(store, cfg.costs, cfg.mem_limit);
             let plan = build_plan_public(store, &path, vec![store.meta.root], *method);
             Slot {
@@ -85,7 +93,9 @@ pub fn execute_interleaved(
                             let cluster = store.fix(id.page);
                             slot.nodes.push((*id, cluster.node(id.slot).order));
                         }
-                        other => panic!("unexpected output end {other:?}"),
+                        other => {
+                            return Err(ExecError::unexpected_end("execute_interleaved", other))
+                        }
                     }
                 }
                 None => slot.done = true,
@@ -119,11 +129,14 @@ pub fn execute_interleaved(
         results: runs.iter().map(|r| r.nodes.len() as u64).sum(),
         ..Default::default()
     };
-    (runs, report)
+    Ok((runs, report))
 }
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::ops::testutil::{mem_store, sample_doc};
     use pathix_tree::Placement;
@@ -141,7 +154,7 @@ mod tests {
         ];
         let mut cfg = PlanConfig::new(Method::Simple);
         cfg.sort = true;
-        let (runs, report) = execute_interleaved(&store, &work, &cfg);
+        let (runs, report) = execute_interleaved(&store, &work, &cfg).expect("plans execute");
         assert_eq!(runs.len(), 3);
         for (i, (path, _)) in work.iter().enumerate() {
             let want: Vec<u64> = pathix_xpath::eval_path(&doc, doc.root(), &path.normalize())
@@ -162,7 +175,8 @@ mod tests {
             (parse_path("//item").unwrap(), Method::xschedule()),
             (parse_path("//email").unwrap(), Method::xschedule()),
         ];
-        let (runs, _) = execute_interleaved(&store, &work, &PlanConfig::new(Method::Simple));
+        let (runs, _) = execute_interleaved(&store, &work, &PlanConfig::new(Method::Simple))
+            .expect("plans execute");
         assert!(!runs[0].nodes.is_empty());
         assert!(!runs[1].nodes.is_empty());
     }

@@ -1,0 +1,45 @@
+//! Execution errors surfaced by the physical plans.
+//!
+//! The executors in [`crate::plan`] and [`crate::concurrent`] consume
+//! assembled instances whose right end must be `Done`, `Core`, or (for
+//! zero-step plans) `Cold`. Anything else is a broken operator contract;
+//! instead of panicking in the hot path (DESIGN.md invariant R3), the
+//! violation is reported as a value.
+
+use crate::instance::REnd;
+use std::fmt;
+
+/// Execution failure of a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An operator emitted an instance whose right end violates the plan
+    /// output contract.
+    UnexpectedEnd {
+        /// The executor that caught the violation.
+        executor: &'static str,
+        /// Debug rendering of the offending right end.
+        end: String,
+    },
+}
+
+impl ExecError {
+    /// Builds the contract-violation error for `end`.
+    pub(crate) fn unexpected_end(executor: &'static str, end: &REnd) -> Self {
+        ExecError::UnexpectedEnd {
+            executor,
+            end: format!("{end:?}"),
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnexpectedEnd { executor, end } => {
+                write!(f, "{executor}: unexpected plan output end: {end}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

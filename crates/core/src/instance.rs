@@ -68,9 +68,7 @@ impl REnd {
     /// The NodeId of the right end, whatever its representation.
     pub fn node_id(&self) -> NodeId {
         match self {
-            REnd::Core { cluster, slot, .. } | REnd::Entry { cluster, slot } => {
-                cluster.id(*slot)
-            }
+            REnd::Core { cluster, slot, .. } | REnd::Entry { cluster, slot } => cluster.id(*slot),
             REnd::Border { proxy, .. } => *proxy,
             REnd::Cold { id, .. } => *id,
             REnd::Done { id, .. } => *id,
@@ -86,7 +84,11 @@ impl REnd {
 impl std::fmt::Debug for REnd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            REnd::Core { cluster, slot, order } => {
+            REnd::Core {
+                cluster,
+                slot,
+                order,
+            } => {
                 write!(f, "Core({}:{} @{order})", cluster.page, slot)
             }
             REnd::Entry { cluster, slot } => write!(f, "Entry({}:{})", cluster.page, slot),
@@ -131,6 +133,60 @@ impl Pi {
             nl: id,
             sr: 0,
             nr: REnd::Cold { id, resume: false },
+            li: false,
+        }
+    }
+
+    /// The general checked constructor: a band `[sl, sr]` anchored at `nl`
+    /// with right end `nr`. This is the only way operators outside this
+    /// module may build an instance (DESIGN.md invariant R4); the band
+    /// condition `S_L ≤ S_R` (§4.3) is asserted at the source instead of
+    /// at every consumer.
+    pub fn band(sl: u16, nl: NodeId, sr: u16, nr: REnd, li: bool) -> Self {
+        debug_assert!(sl <= sr, "band condition violated: sl {sl} > sr {sr}");
+        Pi { sl, nl, sr, nr, li }
+    }
+
+    /// A context-node instance whose cluster is already pinned: `S_L = S_R
+    /// = 0` with a swizzled `Core` end. Produced by the I/O operators when
+    /// a context's cluster comes in.
+    pub fn swizzled_context(cluster: Arc<Cluster>, slot: u16, order: u64) -> Self {
+        let id = cluster.id(slot);
+        Pi {
+            sl: 0,
+            nl: id,
+            sr: 0,
+            nr: REnd::Core {
+                cluster,
+                slot,
+                order,
+            },
+            li: false,
+        }
+    }
+
+    /// The speculative instance `l_{b,step}` for border node `b` (§5.4.3):
+    /// left-incomplete, `S_L = S_R = step`, entered at the border's
+    /// companion slot.
+    pub fn speculative(step: u16, cluster: Arc<Cluster>, slot: u16) -> Self {
+        let nl = cluster.id(slot);
+        Pi {
+            sl: step,
+            nl,
+            sr: step,
+            nr: REnd::Entry { cluster, slot },
+            li: true,
+        }
+    }
+
+    /// A full result instance leaving `XAssembly`: left-complete from step
+    /// 0 with an unswizzled `Done` end.
+    pub fn result(sr: u16, id: NodeId, order: u64) -> Self {
+        Pi {
+            sl: 0,
+            nl: id,
+            sr,
+            nr: REnd::Done { id, order },
             li: false,
         }
     }
@@ -246,6 +302,52 @@ mod tests {
         assert!(mk(0, 5, false).validate(4).is_err()); // sr > len
         assert!(mk(0, 4, true).validate(4).is_err()); // border at final step
         assert!(mk(0, 3, true).validate(4).is_ok());
+    }
+
+    #[test]
+    fn checked_constructors_build_expected_shapes() {
+        let c = cluster();
+        let ctx = Pi::swizzled_context(c.clone(), 0, 17);
+        assert_eq!((ctx.sl, ctx.sr, ctx.li), (0, 0, false));
+        assert_eq!(ctx.nl, NodeId::new(3, 0));
+        assert!(matches!(ctx.nr, REnd::Core { order: 17, .. }));
+
+        let spec = Pi::speculative(2, c.clone(), 0);
+        assert_eq!((spec.sl, spec.sr, spec.li), (2, 2, true));
+        assert_eq!(spec.nl, spec.nr.node_id());
+        assert!(matches!(spec.nr, REnd::Entry { .. }));
+
+        let res = Pi::result(3, NodeId::new(7, 1), 99);
+        assert!(res.is_full(3));
+        assert_eq!(res.nr.node_id(), NodeId::new(7, 1));
+
+        let band = Pi::band(
+            1,
+            NodeId::new(0, 0),
+            2,
+            REnd::Done {
+                id: NodeId::new(1, 1),
+                order: 9,
+            },
+            true,
+        );
+        assert!(band.validate(4).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "band condition")]
+    #[cfg(debug_assertions)]
+    fn band_constructor_rejects_inverted_band() {
+        let _ = Pi::band(
+            3,
+            NodeId::new(0, 0),
+            1,
+            REnd::Cold {
+                id: NodeId::new(0, 0),
+                resume: false,
+            },
+            false,
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod concurrent;
 pub mod context;
+pub mod error;
 pub mod instance;
 pub mod multi;
 pub mod ops;
@@ -30,8 +31,9 @@ pub mod report;
 
 pub use concurrent::{execute_interleaved, ConcurrentRun};
 pub use context::{CostParams, ExecCtx, ExecStats};
+pub use error::ExecError;
 pub use instance::{Pi, REnd};
 pub use multi::{execute_paths_shared_scan, MultiPathRun};
 pub use optimizer::{Optimizer, PlanEstimate};
-pub use plan::{execute_path, execute_query, Method, PlanConfig, PathRun, QueryRun};
+pub use plan::{execute_path, execute_query, Method, PathRun, PlanConfig, QueryRun};
 pub use report::ExecReport;

@@ -77,7 +77,11 @@ pub fn execute_paths_shared_scan(
     let mut pipelines: Vec<PathPipeline> = paths
         .iter()
         .map(|p| {
-            let path = if cfg.normalize { p.normalize() } else { p.clone() };
+            let path = if cfg.normalize {
+                p.normalize()
+            } else {
+                p.clone()
+            };
             let len = path.steps.len() as u16;
             let queue: Rc<RefCell<VecDeque<Pi>>> = Rc::new(RefCell::new(VecDeque::new()));
             let mut op: Box<dyn Operator> = Box::new(QueueSource {
@@ -108,35 +112,15 @@ pub fn execute_paths_shared_scan(
                 if is_root_page {
                     cx.charge_instance();
                     let order = cluster.node(root.slot).order;
-                    q.push_back(Pi {
-                        sl: 0,
-                        nl: root,
-                        sr: 0,
-                        nr: REnd::Core {
-                            cluster: cluster.clone(),
-                            slot: root.slot,
-                            order,
-                        },
-                        li: false,
-                    });
+                    q.push_back(Pi::swizzled_context(cluster.clone(), root.slot, order));
                 }
                 for &b in &border_slots {
-                    let nl = cluster.id(b);
                     for i in 0..pl.len {
                         cx.charge_instance();
                         cx.stats
                             .speculative_generated
                             .set(cx.stats.speculative_generated.get() + 1);
-                        q.push_back(Pi {
-                            sl: i,
-                            nl,
-                            sr: i,
-                            nr: REnd::Entry {
-                                cluster: cluster.clone(),
-                                slot: b,
-                            },
-                            li: true,
-                        });
+                        q.push_back(Pi::speculative(i, cluster.clone(), b));
                     }
                 }
             }
@@ -194,6 +178,9 @@ pub fn execute_paths_shared_scan(
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::ops::testutil::{mem_store, sample_doc};
     use pathix_tree::Placement;
@@ -211,15 +198,10 @@ mod tests {
     fn shared_scan_matches_reference_per_path() {
         let doc = sample_doc();
         let store = mem_store(&doc, 256, Placement::Shuffled { seed: 21 });
-        let paths: Vec<LocationPath> = [
-            "/regions//item",
-            "//email",
-            "//name/text()",
-            "//item/..",
-        ]
-        .iter()
-        .map(|p| parse_path(p).unwrap())
-        .collect();
+        let paths: Vec<LocationPath> = ["/regions//item", "//email", "//name/text()", "//item/.."]
+            .iter()
+            .map(|p| parse_path(p).unwrap())
+            .collect();
         let mut cfg = PlanConfig::new(crate::plan::Method::XScan);
         cfg.sort = true;
         let run = execute_paths_shared_scan(&store, &paths, &cfg);
@@ -242,8 +224,7 @@ mod tests {
         let cfg = PlanConfig::new(crate::plan::Method::XScan);
         let run = execute_paths_shared_scan(&store, &paths, &cfg);
         assert_eq!(
-            run.report.device.reads,
-            store.meta.page_count as u64,
+            run.report.device.reads, store.meta.page_count as u64,
             "one scan, not one per path"
         );
     }
@@ -252,11 +233,8 @@ mod tests {
     fn empty_path_list() {
         let doc = sample_doc();
         let store = mem_store(&doc, 256, Placement::Sequential);
-        let run = execute_paths_shared_scan(
-            &store,
-            &[],
-            &PlanConfig::new(crate::plan::Method::XScan),
-        );
+        let run =
+            execute_paths_shared_scan(&store, &[], &PlanConfig::new(crate::plan::Method::XScan));
         assert!(run.per_path.is_empty());
         assert_eq!(run.counts(), Vec::<u64>::new());
     }

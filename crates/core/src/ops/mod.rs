@@ -4,14 +4,14 @@
 
 mod unnest;
 mod xassembly;
-mod xschedule;
 mod xscan;
+mod xschedule;
 mod xstep;
 
 pub use unnest::UnnestMap;
 pub use xassembly::XAssembly;
-pub use xschedule::{SchedShared, XSchedule};
 pub use xscan::XScan;
+pub use xschedule::{SchedShared, XSchedule};
 pub use xstep::XStep;
 
 use crate::context::ExecCtx;
@@ -59,6 +59,9 @@ impl Operator for ContextSource {
 
 #[cfg(test)]
 pub(crate) mod testutil {
+    // Test fixtures panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use pathix_storage::{BufferParams, MemDevice, SimClock};
     use pathix_tree::{import_into, ImportConfig, Placement, TreeStore};

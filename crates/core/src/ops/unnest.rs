@@ -25,12 +25,7 @@ pub struct UnnestMap {
 
 impl UnnestMap {
     /// Creates `UnnestMap_i` over `producer`.
-    pub fn new(
-        producer: Box<dyn Operator>,
-        i: u16,
-        axis: Axis,
-        test: ResolvedTest,
-    ) -> Self {
+    pub fn new(producer: Box<dyn Operator>, i: u16, axis: Axis, test: ResolvedTest) -> Self {
         assert!(i >= 1, "step numbers are 1-based");
         Self {
             producer,
@@ -50,13 +45,7 @@ impl Operator for UnnestMap {
                 match cursor.next(cx.store, &charge) {
                     Some((id, order)) => {
                         cx.charge_instance();
-                        return Some(Pi {
-                            sl: *sl,
-                            nl: *nl,
-                            sr: self.i,
-                            nr: REnd::Done { id, order },
-                            li: false,
-                        });
+                        return Some(Pi::band(*sl, *nl, self.i, REnd::Done { id, order }, false));
                     }
                     None => self.current = None,
                 }
@@ -72,6 +61,9 @@ impl Operator for UnnestMap {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::context::CostParams;
     use crate::ops::testutil::{drain, mem_store, sample_doc};

@@ -102,13 +102,7 @@ impl XAssembly {
                         cx.stats.r_inserts.set(cx.stats.r_inserts.get() + 1);
                         cx.stats.results.set(cx.stats.results.get() + 1);
                         cx.charge_instance();
-                        self.out.push_back(Pi {
-                            sl: 0,
-                            nl: id,
-                            sr,
-                            nr: REnd::Done { id, order },
-                            li: false,
-                        });
+                        self.out.push_back(Pi::result(sr, id, order));
                     }
                 } else {
                     // Right-complete mid-path ends are normally consumed by
@@ -135,8 +129,8 @@ impl XAssembly {
                         // already visited needs no second visit — its
                         // speculative instances cover this continuation
                         // (unless fallback discarded S).
-                        let covered = !cx.in_fallback()
-                            && sched.borrow().covered_by_speculation(target.page);
+                        let covered =
+                            !cx.in_fallback() && sched.borrow().covered_by_speculation(target.page);
                         if !covered {
                             XSchedule::enqueue(
                                 cx,

@@ -17,7 +17,7 @@
 //! `XAssembly`'s surviving `R` structure.
 
 use crate::context::ExecCtx;
-use crate::instance::{Pi, REnd};
+use crate::instance::Pi;
 use crate::ops::Operator;
 use pathix_storage::PageId;
 use pathix_tree::NodeId;
@@ -71,38 +71,19 @@ impl XScan {
             for &id in ctxs {
                 cx.charge_instance();
                 let order = cluster.node(id.slot).order;
-                self.emit.push_back(Pi {
-                    sl: 0,
-                    nl: id,
-                    sr: 0,
-                    nr: REnd::Core {
-                        cluster: cluster.clone(),
-                        slot: id.slot,
-                        order,
-                    },
-                    li: false,
-                });
+                self.emit
+                    .push_back(Pi::swizzled_context(cluster.clone(), id.slot, order));
             }
         }
         // 2. Speculative instances for every border node and step.
         if self.path_len > 0 {
             for b in cluster.border_slots() {
-                let nl = cluster.id(b);
                 for i in 0..self.path_len {
                     cx.charge_instance();
                     cx.stats
                         .speculative_generated
                         .set(cx.stats.speculative_generated.get() + 1);
-                    self.emit.push_back(Pi {
-                        sl: i,
-                        nl,
-                        sr: i,
-                        nr: REnd::Entry {
-                            cluster: cluster.clone(),
-                            slot: b,
-                        },
-                        li: true,
-                    });
+                    self.emit.push_back(Pi::speculative(i, cluster.clone(), b));
                 }
             }
         }
@@ -127,22 +108,9 @@ impl Operator for XScan {
                 let cluster = cx.store.fix(id.page);
                 let order = cluster.node(id.slot).order;
                 cx.charge_instance();
-                return Some(Pi {
-                    sl: 0,
-                    nl: id,
-                    sr: 0,
-                    nr: REnd::Core {
-                        cluster,
-                        slot: id.slot,
-                        order,
-                    },
-                    li: false,
-                });
+                return Some(Pi::swizzled_context(cluster, id.slot, order));
             }
-            if self.pos >= self.pages.len() {
-                return None;
-            }
-            let page = self.pages[self.pos];
+            let &page = self.pages.get(self.pos)?;
             self.pos += 1;
             self.visit_cluster(cx, page);
         }
@@ -151,8 +119,12 @@ impl Operator for XScan {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::context::CostParams;
+    use crate::instance::REnd;
     use crate::ops::testutil::{drain, mem_store, sample_doc};
     use crate::ops::ContextSource;
     use pathix_tree::Placement;

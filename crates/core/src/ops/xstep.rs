@@ -45,12 +45,7 @@ pub struct XStep {
 
 impl XStep {
     /// Creates `XStep_i` for `axis::test` on top of `producer`.
-    pub fn new(
-        producer: Box<dyn Operator>,
-        i: u16,
-        axis: Axis,
-        test: ResolvedTest,
-    ) -> Self {
+    pub fn new(producer: Box<dyn Operator>, i: u16, axis: Axis, test: ResolvedTest) -> Self {
         assert!(i >= 1, "step numbers are 1-based");
         Self {
             producer,
@@ -136,43 +131,37 @@ impl Operator for XStep {
                     Cursor::Intra(c) => match c.next(&charge) {
                         Some(StepItem::Match { id, order }) => {
                             cx.charge_instance();
-                            return Some(Pi {
-                                sl: *sl,
-                                nl: *nl,
-                                sr: self.i,
-                                nr: REnd::Core {
+                            return Some(Pi::band(
+                                *sl,
+                                *nl,
+                                self.i,
+                                REnd::Core {
                                     cluster: c.cluster().clone(),
                                     slot: id.slot,
                                     order,
                                 },
-                                li: *li,
-                            });
+                                *li,
+                            ));
                         }
                         Some(StepItem::Border { proxy, target }) => {
                             cx.charge_instance();
                             cx.stats
                                 .borders_deferred
                                 .set(cx.stats.borders_deferred.get() + 1);
-                            return Some(Pi {
-                                sl: *sl,
-                                nl: *nl,
-                                sr: self.i - 1,
-                                nr: REnd::Border { proxy, target },
-                                li: *li,
-                            });
+                            return Some(Pi::band(
+                                *sl,
+                                *nl,
+                                self.i - 1,
+                                REnd::Border { proxy, target },
+                                *li,
+                            ));
                         }
                         None => self.current = None,
                     },
                     Cursor::Full(c) => match c.next(cx.store, &charge) {
                         Some((id, order)) => {
                             cx.charge_instance();
-                            return Some(Pi {
-                                sl: *sl,
-                                nl: *nl,
-                                sr: self.i,
-                                nr: REnd::Done { id, order },
-                                li: *li,
-                            });
+                            return Some(Pi::band(*sl, *nl, self.i, REnd::Done { id, order }, *li));
                         }
                         None => self.current = None,
                     },
@@ -196,6 +185,9 @@ impl Operator for XStep {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::context::CostParams;
     use crate::ops::testutil::{drain, mem_store, sample_doc};
@@ -334,7 +326,9 @@ mod tests {
         let want = pathix_xpath::eval_path(
             &doc,
             doc.root(),
-            &pathix_xpath::parse_path("/regions//item").unwrap().normalize(),
+            &pathix_xpath::parse_path("/regions//item")
+                .unwrap()
+                .normalize(),
         )
         .len();
         assert_eq!(got.len(), want);
@@ -356,7 +350,9 @@ mod tests {
         let want = pathix_xpath::eval_path(
             &doc,
             doc.root(),
-            &pathix_xpath::parse_path("/regions//item").unwrap().normalize(),
+            &pathix_xpath::parse_path("/regions//item")
+                .unwrap()
+                .normalize(),
         )
         .len();
         assert_eq!(got.len(), want, "fallback must produce the full result");
@@ -375,12 +371,7 @@ mod tests {
         let src = Swizzle {
             inner: ContextSource::new(vec![store.root()]),
         };
-        let mut s1 = XStep::new(
-            Box::new(src),
-            1,
-            Axis::Descendant,
-            resolved(&store, "item"),
-        );
+        let mut s1 = XStep::new(Box::new(src), 1, Axis::Descendant, resolved(&store, "item"));
         let first_pass = drain(&mut s1, &cx);
         let mut results: Vec<u64> = Vec::new();
         let mut frontier: Vec<Pi> = first_pass;

@@ -110,14 +110,17 @@ impl<'a> Optimizer<'a> {
             None => nodes,
         };
         match axis {
-            Axis::SelfAxis => (ctx, (matched / nodes * ctx).min(ctx).max(
-                // A self::name step on name-producing contexts passes all.
-                if Some(true) == ctx_tag.map(|t| matches!(test, NodeTest::Name(n) if n == t)) {
-                    ctx
-                } else {
-                    0.0
-                },
-            )),
+            Axis::SelfAxis => (
+                ctx,
+                (matched / nodes * ctx).min(ctx).max(
+                    // A self::name step on name-producing contexts passes all.
+                    if Some(true) == ctx_tag.map(|t| matches!(test, NodeTest::Name(n) if n == t)) {
+                        ctx
+                    } else {
+                        0.0
+                    },
+                ),
+            ),
             Axis::Child | Axis::FollowingSibling | Axis::PrecedingSibling => {
                 let inspected = (ctx * avg_fanout).min(ctx_subtree);
                 // Assume matches are concentrated under matching parents:
@@ -180,8 +183,8 @@ impl<'a> Optimizer<'a> {
 
         // Navigational plans inspect nodes + decode touched pages. Simple's
         // DFS rides sequential runs part of the time; charge a blend.
-        let cpu_nav = inspected_total * CPU_NODE_NS
-            + touched_pages * nodes_per_page * CPU_DECODE_NS;
+        let cpu_nav =
+            inspected_total * CPU_NODE_NS + touched_pages * nodes_per_page * CPU_DECODE_NS;
         let simple_ns = touched_pages * (0.6 * random + 0.4 * seq as f64) + cpu_nav;
         let xschedule_ns = touched_pages * (0.6 * batched + 0.4 * seq as f64) + cpu_nav;
 
@@ -211,6 +214,9 @@ impl<'a> Optimizer<'a> {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::ops::testutil::mem_store;
     use pathix_tree::Placement;

@@ -10,6 +10,7 @@
 //! * **XScan** — `ContextSource → XScan → XStep* → XAssembly`.
 
 use crate::context::{CostParams, ExecCtx};
+use crate::error::ExecError;
 use crate::instance::REnd;
 use crate::ops::{
     ContextSource, Operator, SchedShared, UnnestMap, XAssembly, XScan, XSchedule, XStep,
@@ -194,12 +195,15 @@ fn build_plan(
 }
 
 /// Executes `path` from `contexts` with the given configuration.
+///
+/// Fails with [`ExecError::UnexpectedEnd`] if an operator breaks the plan
+/// output contract (a bug in the operator tree, never the caller's input).
 pub fn execute_path_from(
     store: &TreeStore,
     path: &LocationPath,
     contexts: Vec<NodeId>,
     cfg: &PlanConfig,
-) -> PathRun {
+) -> Result<PathRun, ExecError> {
     let path = if cfg.normalize {
         path.normalize()
     } else {
@@ -227,7 +231,7 @@ pub fn execute_path_from(
                 let cluster = store.fix(id.page);
                 (*id, cluster.node(id.slot).order)
             }
-            other => panic!("unexpected plan output end: {other:?}"),
+            other => return Err(ExecError::unexpected_end("execute_path_from", other)),
         };
         if simple {
             // Final duplicate elimination of the Simple method (§5.1).
@@ -268,35 +272,43 @@ pub fn execute_path_from(
         speculative_generated: cx.stats.speculative_generated.get(),
         fallback: cx.stats.fallback_entered.get(),
     };
-    PathRun { nodes, report }
+    Ok(PathRun { nodes, report })
 }
 
 /// Executes `path` from the document root.
-pub fn execute_path(store: &TreeStore, path: &LocationPath, cfg: &PlanConfig) -> PathRun {
+pub fn execute_path(
+    store: &TreeStore,
+    path: &LocationPath,
+    cfg: &PlanConfig,
+) -> Result<PathRun, ExecError> {
     execute_path_from(store, path, vec![store.meta.root], cfg)
 }
 
 /// Executes a query (path, count, or sum of counts) from the document root.
-pub fn execute_query(store: &TreeStore, query: &Query, cfg: &PlanConfig) -> QueryRun {
+pub fn execute_query(
+    store: &TreeStore,
+    query: &Query,
+    cfg: &PlanConfig,
+) -> Result<QueryRun, ExecError> {
     match query {
         Query::Path(p) => {
-            let run = execute_path(store, p, cfg);
-            QueryRun {
+            let run = execute_path(store, p, cfg)?;
+            Ok(QueryRun {
                 value: run.nodes.len() as u64,
                 nodes: run.nodes,
                 report: run.report,
-            }
+            })
         }
         Query::Count(p) => {
             // Counting never needs document order (§5.5).
             let mut c = *cfg;
             c.sort = false;
-            let run = execute_path(store, p, &c);
-            QueryRun {
+            let run = execute_path(store, p, &c)?;
+            Ok(QueryRun {
                 value: run.nodes.len() as u64,
                 nodes: Vec::new(),
                 report: run.report,
-            }
+            })
         }
         Query::Sum(qs) => {
             let mut value = 0u64;
@@ -305,21 +317,24 @@ pub fn execute_query(store: &TreeStore, query: &Query, cfg: &PlanConfig) -> Quer
                 ..Default::default()
             };
             for q in qs {
-                let r = execute_query(store, q, cfg);
+                let r = execute_query(store, q, cfg)?;
                 value += r.value;
                 report.absorb(&r.report);
             }
-            QueryRun {
+            Ok(QueryRun {
                 value,
                 nodes: Vec::new(),
                 report,
-            }
+            })
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::ops::testutil::{mem_store, sample_doc};
     use pathix_tree::Placement;
@@ -366,7 +381,8 @@ mod tests {
                     let store = mem_store(&doc, 256, placement);
                     let mut cfg = PlanConfig::new(method);
                     cfg.sort = true;
-                    let run = execute_path(&store, &parse_path(path).unwrap(), &cfg);
+                    let run = execute_path(&store, &parse_path(path).unwrap(), &cfg)
+                        .expect("plan executes");
                     let got: Vec<u64> = run.nodes.iter().map(|&(_, o)| o).collect();
                     assert_eq!(
                         got, want,
@@ -383,7 +399,8 @@ mod tests {
         let store = mem_store(&doc, 256, Placement::Shuffled { seed: 7 });
         let mut cfg = PlanConfig::new(Method::XScan);
         cfg.sort = true;
-        let run = execute_path(&store, &parse_path("//item").unwrap(), &cfg);
+        let run =
+            execute_path(&store, &parse_path("//item").unwrap(), &cfg).expect("plan executes");
         let orders: Vec<u64> = run.nodes.iter().map(|&(_, o)| o).collect();
         let mut sorted = orders.clone();
         sorted.sort_unstable();
@@ -397,7 +414,7 @@ mod tests {
         let store = mem_store(&doc, 256, Placement::Sequential);
         let q = parse_query("count(//item)+count(//email)").unwrap();
         let cfg = PlanConfig::new(Method::xschedule());
-        let run = execute_query(&store, &q, &cfg);
+        let run = execute_query(&store, &q, &cfg).expect("query executes");
         let want = pathix_xpath::eval_query(&doc, doc.root(), &q).as_number();
         assert_eq!(run.value, want);
         assert_eq!(run.report.method, "XSchedule");
@@ -408,11 +425,8 @@ mod tests {
         let doc = sample_doc();
         for method in all_methods() {
             let store = mem_store(&doc, 256, Placement::Sequential);
-            let run = execute_path(
-                &store,
-                &parse_path("/").unwrap(),
-                &PlanConfig::new(method),
-            );
+            let run = execute_path(&store, &parse_path("/").unwrap(), &PlanConfig::new(method))
+                .expect("plan executes");
             assert_eq!(run.nodes.len(), 1, "{method:?}");
             assert_eq!(run.nodes[0].0, store.meta.root);
         }
@@ -427,7 +441,8 @@ mod tests {
             &store,
             &parse_path("//email").unwrap(),
             &PlanConfig::new(Method::XScan),
-        );
+        )
+        .expect("plan executes");
         assert_eq!(run.report.device.reads, pages, "XScan reads each page once");
         // A fresh store for the Simple method (cold buffer).
         let store2 = mem_store(&doc, 256, Placement::Shuffled { seed: 3 });
@@ -435,7 +450,8 @@ mod tests {
             &store2,
             &parse_path("//email").unwrap(),
             &PlanConfig::new(Method::Simple),
-        );
+        )
+        .expect("plan executes");
         assert_eq!(run.nodes.len(), run2.nodes.len());
     }
 
@@ -448,7 +464,8 @@ mod tests {
             let mut cfg = PlanConfig::new(method);
             cfg.mem_limit = Some(1); // force fallback almost immediately
             cfg.sort = true;
-            let run = execute_path(&store, &parse_path("//item").unwrap(), &cfg);
+            let run =
+                execute_path(&store, &parse_path("//item").unwrap(), &cfg).expect("plan executes");
             let got: Vec<u64> = run.nodes.iter().map(|&(_, o)| o).collect();
             assert_eq!(got, want, "fallback correctness for {method:?}");
         }
@@ -464,7 +481,8 @@ mod tests {
         let store = mem_store(&doc, 256, Placement::Shuffled { seed: 2 });
         let mut cfg = PlanConfig::new(Method::XScan);
         cfg.mem_limit = Some(0);
-        let run = execute_path(&store, &parse_path("//item").unwrap(), &cfg);
+        let run =
+            execute_path(&store, &parse_path("//item").unwrap(), &cfg).expect("plan executes");
         assert!(run.report.fallback);
     }
 
@@ -478,7 +496,8 @@ mod tests {
             k: 100,
             speculative: true,
         });
-        let run = execute_path(&store, &parse_path("//item/..//name").unwrap(), &cfg);
+        let run = execute_path(&store, &parse_path("//item/..//name").unwrap(), &cfg)
+            .expect("plan executes");
         assert!(
             run.report.device.reads <= store.meta.page_count as u64,
             "speculative XSchedule must not reread clusters: {} reads vs {} pages",

@@ -1,0 +1,37 @@
+//! pathix-lint: an architectural invariant checker for the pathix
+//! workspace.
+//!
+//! The paper's physical algebra rests on contracts that the type system
+//! cannot express: XStep and XAssembly never touch the buffer manager
+//! (§5.2, §5.4.2), only XSchedule/XScan/UnnestMap perform cluster I/O
+//! (§5.3.4, §5.4.3), replayed runs are bit-identical (DESIGN §3), the
+//! operator hot path never panics, and the crate graph flows
+//! `xml → tree → core`. This crate enforces them statically with a
+//! hand-rolled tokenizer and a per-file rule engine — no dependencies,
+//! runnable anywhere the workspace builds:
+//!
+//! ```text
+//! cargo run -p pathix-lint -- check
+//! ```
+//!
+//! Rules:
+//! - **R1 — I/O confinement.** Navigation-only operators must not
+//!   reference `Buffer::fix`, `Device`, `pathix_storage`, or any other
+//!   physical-I/O API.
+//! - **R2 — determinism.** No `Instant`/`SystemTime` outside the file
+//!   device and bench; no `rand` outside xmlgen/bench/tests; no
+//!   `HashMap` in cost-accounting/report code.
+//! - **R3 — panic-freedom.** No `unwrap`/`expect`/`panic!`-family
+//!   macros or slice indexing in non-test code of the operator hot
+//!   path, the buffer manager, and the navigation primitives.
+//!   Escape hatch: `// lint:allow(reason)` on or above the line.
+//! - **R4 — layering.** Inter-crate references must point down the
+//!   layer stack, and `Pi` instances may only be built through the
+//!   checked constructors in `instance.rs`.
+
+pub mod rules;
+pub mod tokenizer;
+pub mod workspace;
+
+pub use rules::{check_source, Diagnostic};
+pub use workspace::{check_workspace, find_workspace_root};

@@ -1,0 +1,416 @@
+//! The rule engine: per-file checks R1–R4 over the token stream.
+//!
+//! Paths are workspace-relative with `/` separators; rules decide their
+//! applicability purely from the path, so fixtures can exercise any rule
+//! by picking a suitable virtual path (see `tests/golden.rs`).
+
+use crate::tokenizer::{test_regions, tokenize, SpannedTok, Tok};
+use std::fmt;
+
+/// One finding, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (`R1`…`R4`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Operator files allowed to perform cluster I/O (paper §5.3.4, §5.4.3:
+/// XSchedule and XScan are *the* I/O-performing operators; UnnestMap is
+/// the deliberately I/O-naive baseline).
+const IO_OPERATOR_FILES: &[&str] = &["xschedule.rs", "xscan.rs", "unnest.rs"];
+
+/// Identifiers that indicate physical I/O or storage-layer access.
+const IO_IDENTS: &[&str] = &[
+    "fix",
+    "fix_any_prefetched",
+    "prefetch",
+    "read_sync",
+    "submit",
+    "poll",
+    "device_mut",
+    "buffer",
+    "pathix_storage",
+    "Device",
+    "BufferManager",
+    "MemDevice",
+    "SimDisk",
+    "FileDevice",
+];
+
+/// Files whose non-test code must be panic-free (R3): the operator hot
+/// path, the buffer manager, and the navigation primitives.
+fn in_panic_free_zone(path: &str) -> bool {
+    path.starts_with("crates/core/src/ops/")
+        || path == "crates/storage/src/buffer.rs"
+        || path == "crates/tree/src/nav.rs"
+}
+
+/// Cost-accounting / report files (R2): anything iterating a map here must
+/// use `BTreeMap` so replayed runs print identically.
+fn is_report_file(path: &str) -> bool {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    base == "report.rs" || base == "context.rs"
+}
+
+/// True for files that are test-only by location.
+pub fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Canonical layer of each workspace crate; `use` edges must point
+/// strictly downwards (R4: `xml → tree → core` direction).
+pub fn layer(krate: &str) -> Option<u32> {
+    Some(match krate {
+        "pathix-storage" | "pathix-xml" | "pathix-lint" => 0,
+        "pathix-xpath" | "pathix-xmlgen" => 1,
+        "pathix-tree" => 2,
+        "pathix-core" => 3,
+        "pathix" => 4,
+        "pathix-bench" => 5,
+        _ => return None,
+    })
+}
+
+/// The crate a workspace-relative path belongs to.
+pub fn crate_of_path(path: &str) -> Option<&'static str> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let dir = rest.split('/').next()?;
+        return Some(match dir {
+            "storage" => "pathix-storage",
+            "xml" => "pathix-xml",
+            "xmlgen" => "pathix-xmlgen",
+            "xpath" => "pathix-xpath",
+            "tree" => "pathix-tree",
+            "core" => "pathix-core",
+            "bench" => "pathix-bench",
+            "lint" => "pathix-lint",
+            _ => return None,
+        });
+    }
+    if path.starts_with("src/") || path.starts_with("tests/") {
+        return Some("pathix");
+    }
+    None
+}
+
+/// Keywords that rule out the slice-indexing interpretation of a
+/// following `[` (array literals, slice types, patterns, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Runs every applicable rule over one source file.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let tf = tokenize(src);
+    let in_region = test_regions(&tf.tokens);
+    let whole_file_test = is_test_path(rel_path);
+    let toks = &tf.tokens;
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    let is_test = |i: usize| whole_file_test || in_region[i];
+    let base = rel_path.rsplit('/').next().unwrap_or(rel_path);
+
+    let r1_applies =
+        rel_path.starts_with("crates/core/src/ops/") && !IO_OPERATOR_FILES.contains(&base);
+    let r2_time_allowed =
+        rel_path == "crates/storage/src/file_device.rs" || rel_path.starts_with("crates/bench/");
+    let r2_rand_allowed = rel_path.starts_with("crates/xmlgen/")
+        || rel_path.starts_with("crates/bench/")
+        || whole_file_test;
+    let r2_map_applies = is_report_file(rel_path);
+    let r3_applies = in_panic_free_zone(rel_path);
+    let r4_pi_applies = rel_path != "crates/core/src/instance.rs";
+    let own_crate = crate_of_path(rel_path);
+
+    for (i, st) in toks.iter().enumerate() {
+        match &st.tok {
+            Tok::Ident(id) => {
+                // R1: I/O confinement.
+                if r1_applies && !is_test(i) && IO_IDENTS.contains(&id.as_str()) {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R1",
+                        message: format!(
+                            "I/O API `{id}` referenced in a navigation-only operator; \
+                             only XSchedule/XScan/UnnestMap perform cluster I/O"
+                        ),
+                    });
+                }
+                // R2: wall-clock time sources.
+                if (id == "Instant" || id == "SystemTime") && !r2_time_allowed {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R2",
+                        message: format!(
+                            "`{id}` breaks deterministic replay; use the simulated \
+                             clock (SimClock) for all cost accounting"
+                        ),
+                    });
+                }
+                // R2: ambient randomness.
+                if id == "rand" && !r2_rand_allowed && !is_test(i) {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R2",
+                        message: "`rand` outside xmlgen/bench/tests; derive randomness \
+                                  from explicit seeds (see PlacementRng)"
+                            .to_owned(),
+                    });
+                }
+                // R2: nondeterministic map iteration in report code.
+                if r2_map_applies && !is_test(i) && id == "HashMap" {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R2",
+                        message: "HashMap iteration order is nondeterministic; use \
+                                  BTreeMap in cost-accounting/report code"
+                            .to_owned(),
+                    });
+                }
+                // R3: unwrap/expect method calls.
+                if r3_applies
+                    && !is_test(i)
+                    && (id == "unwrap" || id == "expect")
+                    && prev_is(toks, i, '.')
+                    && next_is(toks, i, '(')
+                {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R3",
+                        message: format!(
+                            "`.{id}()` in the panic-free zone; thread a Result or use \
+                             a checked accessor (or justify with lint:allow)"
+                        ),
+                    });
+                }
+                // R3: panic-family macros.
+                if r3_applies
+                    && !is_test(i)
+                    && PANIC_MACROS.contains(&id.as_str())
+                    && next_is(toks, i, '!')
+                {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R3",
+                        message: format!("`{id}!` in the panic-free zone"),
+                    });
+                }
+                // R4: Pi struct literals outside instance.rs. `-> Pi {`
+                // (return type + body) and `impl Pi {` are not literals.
+                if r4_pi_applies
+                    && !is_test(i)
+                    && id == "Pi"
+                    && next_is(toks, i, '{')
+                    && !prev_is(toks, i, '>')
+                    && !prev_is_ident(toks, i, &["impl", "for", "dyn"])
+                {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R4",
+                        message: "Pi built by struct literal; use the checked \
+                                  constructors in instance.rs (Pi::band/context/\
+                                  swizzled_context/speculative/result)"
+                            .to_owned(),
+                    });
+                }
+                // R4: layering of inter-crate references.
+                if id == "pathix" || id.starts_with("pathix_") {
+                    let referenced = id.replace('_', "-");
+                    if let (Some(own), Some(own_layer)) = (own_crate, own_crate.and_then(layer)) {
+                        if referenced != own {
+                            match layer(&referenced) {
+                                Some(l) if l < own_layer => {}
+                                Some(_) => out.push(Diagnostic {
+                                    file: rel_path.to_owned(),
+                                    line: st.line,
+                                    rule: "R4",
+                                    message: format!(
+                                        "`{referenced}` referenced from `{own}` points \
+                                         against the layering (xml → tree → core)"
+                                    ),
+                                }),
+                                None => out.push(Diagnostic {
+                                    file: rel_path.to_owned(),
+                                    line: st.line,
+                                    rule: "R4",
+                                    message: format!(
+                                        "reference to unknown workspace crate `{referenced}`"
+                                    ),
+                                }),
+                            }
+                        } else if !is_test(i) && !is_bin_target(rel_path) {
+                            // A crate naming itself outside tests is almost
+                            // always a stale path; integration tests and bin
+                            // targets (which import their sibling lib by
+                            // crate name) are the legitimate uses.
+                            out.push(Diagnostic {
+                                file: rel_path.to_owned(),
+                                line: st.line,
+                                rule: "R4",
+                                message: format!(
+                                    "`{own}` references itself by crate name; use \
+                                     `crate::` paths inside the crate"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            Tok::Punct('[') if r3_applies && !is_test(i) && indexes_expression(toks, i) => {
+                out.push(Diagnostic {
+                    file: rel_path.to_owned(),
+                    line: st.line,
+                    rule: "R3",
+                    message: "slice indexing in the panic-free zone; use .get()/\
+                              .get_mut() (or justify with lint:allow)"
+                        .to_owned(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    out.retain(|d| !tf.allowed(d.line));
+    out
+}
+
+/// Heuristic: a `[` indexes an expression iff the previous token can end
+/// an expression — a non-keyword identifier, a numeric literal, `)`, `]`,
+/// or `?`. Attributes (`#[`), array literals/types, macro calls (`vec![`)
+/// and patterns all have different predecessors.
+fn indexes_expression(toks: &[SpannedTok], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    match &prev.tok {
+        Tok::Ident(id) => !NON_INDEX_KEYWORDS.contains(&id.as_str()),
+        Tok::Num => true,
+        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('?') => true,
+        _ => false,
+    }
+}
+
+/// Bin targets are separate crates that legitimately import the sibling
+/// library by its crate name.
+fn is_bin_target(path: &str) -> bool {
+    path.contains("/bin/") || path.ends_with("/main.rs")
+}
+
+fn prev_is_ident(toks: &[SpannedTok], i: usize, names: &[&str]) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| toks.get(p))
+        .is_some_and(|t| matches!(&t.tok, Tok::Ident(id) if names.contains(&id.as_str())))
+}
+
+fn prev_is(toks: &[SpannedTok], i: usize, c: char) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| toks.get(p))
+        .is_some_and(|t| t.tok == Tok::Punct(c))
+}
+
+fn next_is(toks: &[SpannedTok], i: usize, c: char) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.tok == Tok::Punct(c))
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<&'static str> {
+        check_source(path, src)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn indexing_heuristic_negatives() {
+        // Attributes, array literals, slice types, macros, patterns: none
+        // of these are indexing.
+        let src = r#"
+            #[derive(Debug)]
+            struct S { a: [u8; 4] }
+            fn f(x: &[u8]) -> Vec<u8> {
+                let [p, q] = [1u8, 2];
+                let v = vec![p, q];
+                v
+            }
+        "#;
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_heuristic_positives() {
+        let cases = [
+            "fn f(v: &[u8], i: usize) -> u8 { v[i] }",
+            "fn f(v: &Vec<u8>) -> &[u8] { &v[1..] }",
+            "fn g(m: &M) -> u8 { m.rows[0] }",
+            "fn h(v: &V) -> u8 { (v.inner())[2] }",
+        ];
+        for src in cases {
+            assert_eq!(
+                rules_of("crates/core/src/ops/xstep.rs", src),
+                vec!["R3"],
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_allow_suppresses() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // lint:allow(bounds checked above)\n    v[0]\n}";
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_r3() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}";
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).is_empty());
+        // …but the same code in a tests/ directory is exempt too.
+        assert!(rules_of("crates/core/src/ops/xstep.rs", "fn f() { x.unwrap(); }").contains(&"R3"));
+    }
+
+    #[test]
+    fn layering_direction() {
+        // Downward reference: fine.
+        assert!(rules_of("crates/core/src/plan.rs", "use pathix_tree::NodeId;").is_empty());
+        // Upward reference: flagged.
+        assert_eq!(
+            rules_of("crates/xml/src/lib.rs", "use pathix_tree::NodeId;"),
+            vec!["R4"]
+        );
+        // Integration tests may name their own crate.
+        assert!(rules_of("crates/tree/tests/t.rs", "use pathix_tree::NodeId;").is_empty());
+    }
+}

@@ -1,0 +1,467 @@
+//! A hand-rolled, line-aware Rust tokenizer — just enough lexical fidelity
+//! for invariant checking: comments and string/char literals are stripped
+//! (so a rule never fires on prose), every remaining token carries its
+//! 1-based source line, and `// lint:allow(reason)` comments are collected
+//! for the suppression mechanism.
+
+/// One lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (value irrelevant to the rules).
+    Num,
+    /// Single punctuation character.
+    Punct(char),
+    /// Lifetime marker (`'a`); kept distinct so it is never confused with
+    /// a char literal or an identifier.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Tokenizer output for one file.
+#[derive(Debug, Default)]
+pub struct TokenizedFile {
+    pub tokens: Vec<SpannedTok>,
+    /// Lines (1-based) carrying a `// lint:allow(reason)` comment.
+    pub allow_lines: Vec<usize>,
+}
+
+impl TokenizedFile {
+    /// True if a diagnostic on `line` is suppressed by a `lint:allow`
+    /// comment on the same or the immediately preceding line.
+    pub fn allowed(&self, line: usize) -> bool {
+        self.allow_lines.iter().any(|&a| a == line || a + 1 == line)
+    }
+}
+
+/// Tokenizes Rust source, stripping comments and literals.
+pub fn tokenize(src: &str) -> TokenizedFile {
+    let bytes = src.as_bytes();
+    let mut out = TokenizedFile::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &b in &bytes[$range] {
+                if b == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                if comment.contains("lint:allow(") {
+                    out.allow_lines.push(line);
+                }
+                // The newline itself is handled on the next iteration.
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                bump_lines!(i..j);
+                i = j;
+            }
+            b'"' => {
+                let j = skip_string(bytes, i);
+                bump_lines!(i..j);
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let j = skip_raw_or_byte_string(bytes, i);
+                bump_lines!(i..j);
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`,
+                // `'\n'`): a lifetime is `'` + ident NOT followed by `'`.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j > i + 1 && bytes.get(j) != Some(&b'\'') {
+                    out.tokens.push(SpannedTok {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char literal: scan to the closing quote, honouring
+                    // backslash escapes.
+                    let mut k = i + 1;
+                    while k < bytes.len() {
+                        match bytes[k] {
+                            b'\\' => k += 2,
+                            b'\'' => {
+                                k += 1;
+                                break;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    bump_lines!(i..k.min(bytes.len()));
+                    i = k;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_owned()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(SpannedTok {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a `"..."` literal starting at `i` (which points at the quote);
+/// returns the index just past the closing quote.
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// True if `r"`, `r#"`, `b"`, `br"`, `br#"` (etc.) starts at `i`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Plain byte string `b"..."`.
+    bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"')
+}
+
+/// Skips a raw or byte string starting at `i`; returns the index just past
+/// the closing delimiter.
+fn skip_raw_or_byte_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        // `b"..."` — escapes apply.
+        return skip_string(bytes, j);
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Computes, for each token, whether it lies inside a `#[cfg(test)]` item
+/// (a test module or test function). Brace-matched: the region starts at
+/// the first `{` after the attribute and ends at its matching `}`; an
+/// attribute followed by `;` before any `{` covers just that item.
+pub fn test_regions(tokens: &[SpannedTok]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the region opened by the annotated item.
+            let mut j = i;
+            // Skip this attribute: `#` `[` ... matching `]`.
+            j = skip_attr(tokens, j);
+            // Skip any further attributes on the same item.
+            while matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Punct('#')))
+                && matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+            {
+                j = skip_attr(tokens, j);
+            }
+            // Scan forward to the item's opening `{` (or a terminating
+            // `;` for brace-less items like `#[cfg(test)] use ...;`).
+            let mut k = j;
+            let mut found_brace = None;
+            while k < tokens.len() {
+                match &tokens[k].tok {
+                    Tok::Punct('{') => {
+                        found_brace = Some(k);
+                        break;
+                    }
+                    Tok::Punct(';') => break,
+                    _ => k += 1,
+                }
+            }
+            if let Some(open) = found_brace {
+                let close = matching_brace(tokens, open);
+                for flag in in_test.iter_mut().take(close + 1).skip(i) {
+                    *flag = true;
+                }
+                i = close + 1;
+                continue;
+            } else {
+                for flag in in_test.iter_mut().take(k.min(tokens.len())).skip(i) {
+                    *flag = true;
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// True if `tokens[i..]` starts a `#[cfg(test)]` or `#[cfg(any(test, …))]`
+/// attribute.
+fn is_cfg_test_attr(tokens: &[SpannedTok], i: usize) -> bool {
+    if !matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct('#'))) {
+        return false;
+    }
+    if !matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('['))) {
+        return false;
+    }
+    match tokens.get(i + 2).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) if s == "cfg" => {}
+        _ => return false,
+    }
+    // Within the attribute, any bare `test` ident counts (covers
+    // `cfg(test)` and `cfg(all(test, feature = "x"))`).
+    let end = skip_attr(tokens, i);
+    tokens[i..end]
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "test"))
+}
+
+/// Returns the index just past the `]` that closes the attribute whose `#`
+/// is at `i`.
+fn skip_attr(tokens: &[SpannedTok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Returns the index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[SpannedTok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"panic! raw"#;
+            let c = 'x';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_owned()));
+        assert!(!ids.contains(&"unwrap".to_owned()));
+        assert!(!ids.contains(&"panic".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y';";
+        let toks = tokenize(src);
+        let lifetimes = toks
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        // 'y' is a char literal, not an identifier `y`.
+        assert!(!idents(src).contains(&"y".to_owned()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let toks = tokenize(src);
+        let lines: Vec<usize> = toks.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_lines_collected() {
+        let src = "x(); // lint:allow(known safe)\ny();";
+        let toks = tokenize(src);
+        assert_eq!(toks.allow_lines, vec![1]);
+        assert!(toks.allowed(1));
+        assert!(toks.allowed(2), "next line is covered too");
+        assert!(!toks.allowed(3));
+    }
+
+    #[test]
+    fn cfg_test_module_region() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\nfn prod2() {}";
+        let toks = tokenize(src);
+        let regions = test_regions(&toks.tokens);
+        // Find the two `unwrap` idents; the first is production code, the
+        // second sits inside the test module.
+        let unwraps: Vec<usize> = toks
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(&t.tok, Tok::Ident(s) if s == "unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!regions[unwraps[0]]);
+        assert!(regions[unwraps[1]]);
+        // Code after the module is production again.
+        let prod2 = toks
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "prod2"))
+            .unwrap();
+        assert!(!regions[prod2]);
+    }
+
+    #[test]
+    fn cfg_test_braceless_item() {
+        let src = "#[cfg(test)] use foo::bar;\nfn prod() {}";
+        let toks = tokenize(src);
+        let regions = test_regions(&toks.tokens);
+        let bar = toks
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "bar"))
+            .unwrap();
+        let prod = toks
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.tok, Tok::Ident(s) if s == "prod"))
+            .unwrap();
+        assert!(regions[bar]);
+        assert!(!regions[prod]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let x = r##"contains "quotes" and unwrap()"##; done();"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"done".to_owned()));
+        assert!(!ids.contains(&"unwrap".to_owned()));
+    }
+}

@@ -1,0 +1,192 @@
+//! Workspace discovery and the whole-tree check driver.
+//!
+//! Walks every `.rs` file under the workspace root (skipping `vendor/`,
+//! `target/`, and `.git/`), runs the per-file rules, and additionally
+//! validates the `use`-graph at the manifest level: each member crate's
+//! `Cargo.toml` may only depend on lower-layer pathix crates.
+
+use crate::rules::{check_source, crate_of_path, layer, Diagnostic};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git"];
+
+/// Finds the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects all `.rs` files under `root`, workspace-relative, sorted.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                walk(root, &path, out);
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Checks one member crate's manifest: every `pathix-*` dependency must
+/// sit on a strictly lower layer. Dev-dependencies are exempt (tests may
+/// reach upward, e.g. tree's tests generate documents with xmlgen).
+pub fn check_manifest(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // The crate this manifest belongs to, derived from its `name = "…"`.
+    let Some(own) = manifest_name(text) else {
+        return out;
+    };
+    let Some(own_layer) = layer(&own) else {
+        return out;
+    };
+    let mut section = String::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            section = trimmed.trim_matches(['[', ']']).to_owned();
+            continue;
+        }
+        if section != "dependencies" {
+            continue;
+        }
+        let Some(dep) = trimmed.split(['=', '.', ' ']).next() else {
+            continue;
+        };
+        if !dep.starts_with("pathix") || dep == own {
+            continue;
+        }
+        match layer(dep) {
+            Some(l) if l < own_layer => {}
+            Some(_) => out.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line: lineno + 1,
+                rule: "R4",
+                message: format!(
+                    "`{own}` depends on `{dep}`, which is not on a lower layer \
+                     (xml → tree → core direction)"
+                ),
+            }),
+            None => out.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line: lineno + 1,
+                rule: "R4",
+                message: format!("dependency on unknown workspace crate `{dep}`"),
+            }),
+        }
+    }
+    out
+}
+
+fn manifest_name(text: &str) -> Option<String> {
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_owned());
+            }
+        }
+        if trimmed == "[dependencies]" {
+            break;
+        }
+    }
+    None
+}
+
+/// Runs every check over the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in source_files(root) {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        // The lint crate itself is exempt: rule tables must be able to
+        // name the identifiers they hunt for.
+        if rel_str.starts_with("crates/lint/") {
+            continue;
+        }
+        if crate_of_path(&rel_str).is_none() {
+            continue;
+        }
+        let Ok(src) = fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        out.extend(check_source(&rel_str, &src));
+    }
+    for krate in [
+        "crates/storage",
+        "crates/xml",
+        "crates/xmlgen",
+        "crates/xpath",
+        "crates/tree",
+        "crates/core",
+        "crates/bench",
+        "crates/lint",
+    ] {
+        let rel = format!("{krate}/Cargo.toml");
+        if let Ok(text) = fs::read_to_string(root.join(&rel)) {
+            out.extend(check_manifest(&rel, &text));
+        }
+    }
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        out.extend(check_manifest("Cargo.toml", &text));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_layering_flags_upward_dep() {
+        let text =
+            "[package]\nname = \"pathix-xml\"\n[dependencies]\npathix-core.workspace = true\n";
+        let diags = check_manifest("crates/xml/Cargo.toml", text);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "R4");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn manifest_layering_accepts_downward_deps() {
+        let text = "[package]\nname = \"pathix-core\"\n[dependencies]\npathix-tree.workspace = true\npathix-storage.workspace = true\n[dev-dependencies]\nrand.workspace = true\n";
+        assert!(check_manifest("crates/core/Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let text = "[package]\nname = \"pathix-tree\"\n[dev-dependencies]\npathix-xmlgen.workspace = true\n";
+        assert!(check_manifest("crates/tree/Cargo.toml", text).is_empty());
+    }
+}

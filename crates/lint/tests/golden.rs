@@ -1,0 +1,235 @@
+//! Golden fixtures: for every rule R1–R4, one snippet that must trip the
+//! checker and one compliant twin that must pass — plus a self-check that
+//! the real workspace is clean.
+
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
+use pathix_lint::rules::check_source;
+
+fn rules_of(path: &str, src: &str) -> Vec<&'static str> {
+    check_source(path, src)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+// ---------------------------------------------------------------- R1 ---
+
+#[test]
+fn r1_bad_io_in_navigation_operator() {
+    let src = r#"
+        use pathix_storage::Device;
+        pub fn advance(cx: &ExecCtx<'_>) {
+            let page = cx.store.buffer.fix(7);
+            let _ = page;
+        }
+    "#;
+    let diags = check_source("crates/core/src/ops/xstep.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "R1" && d.line == 2),
+        "expected R1 on the use line, got {diags:?}"
+    );
+    assert!(diags.iter().any(|d| d.rule == "R1" && d.line == 4));
+}
+
+#[test]
+fn r1_good_io_in_schedule_operator() {
+    // Identical code is legal in XSchedule: it is *the* I/O operator.
+    let src = r#"
+        pub fn advance(cx: &ExecCtx<'_>) {
+            let page = cx.store.buffer.fix(7);
+            let _ = page;
+        }
+    "#;
+    assert!(rules_of("crates/core/src/ops/xschedule.rs", src).is_empty());
+}
+
+#[test]
+fn r1_good_navigation_only_xstep() {
+    let src = r#"
+        pub fn advance(&mut self, c: &ClusterRef<'_>) -> Option<Pi> {
+            let next = c.first_child(self.slot)?;
+            Some(Pi::band(self.sl, self.nl, self.i, self.end(next), self.li))
+        }
+    "#;
+    assert!(rules_of("crates/core/src/ops/xstep.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R2 ---
+
+#[test]
+fn r2_bad_wall_clock_in_core() {
+    let src = "use std::time::Instant;\nfn t() -> Instant { Instant::now() }";
+    let diags = check_source("crates/core/src/context.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R2" && d.line == 1));
+}
+
+#[test]
+fn r2_good_wall_clock_in_file_device() {
+    let src = "use std::time::Instant;\nfn t() -> Instant { Instant::now() }";
+    assert!(rules_of("crates/storage/src/file_device.rs", src).is_empty());
+}
+
+#[test]
+fn r2_bad_rand_in_tree() {
+    let src = "use rand::rngs::StdRng;";
+    assert_eq!(rules_of("crates/tree/src/import.rs", src), vec!["R2"]);
+}
+
+#[test]
+fn r2_good_rand_in_xmlgen_and_tests() {
+    let src = "use rand::rngs::StdRng;";
+    assert!(rules_of("crates/xmlgen/src/lib.rs", src).is_empty());
+    assert!(rules_of("crates/tree/tests/update_tests.rs", src).is_empty());
+}
+
+#[test]
+fn r2_bad_hashmap_in_report() {
+    let src = "use std::collections::HashMap;\nfn agg() -> HashMap<u32, u64> { HashMap::new() }";
+    let diags = check_source("crates/core/src/report.rs", src);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "R2"));
+}
+
+#[test]
+fn r2_good_btreemap_in_report() {
+    let src = "use std::collections::BTreeMap;\nfn agg() -> BTreeMap<u32, u64> { BTreeMap::new() }";
+    assert!(rules_of("crates/core/src/report.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R3 ---
+
+#[test]
+fn r3_bad_unwrap_in_hot_path() {
+    let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }";
+    assert_eq!(rules_of("crates/storage/src/buffer.rs", src), vec!["R3"]);
+}
+
+#[test]
+fn r3_bad_panic_macro_and_indexing() {
+    let src = r#"
+        fn f(v: &[u8], i: usize) -> u8 {
+            if i > v.len() { panic!("out of range"); }
+            v[i]
+        }
+    "#;
+    let diags = check_source("crates/tree/src/nav.rs", src);
+    assert_eq!(
+        diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(),
+        vec![("R3", 3), ("R3", 4)]
+    );
+}
+
+#[test]
+fn r3_good_checked_access() {
+    let src = r#"
+        fn f(v: &[u8], i: usize) -> Option<u8> {
+            v.get(i).copied()
+        }
+    "#;
+    assert!(rules_of("crates/tree/src/nav.rs", src).is_empty());
+}
+
+#[test]
+fn r3_good_lint_allow_escape_hatch() {
+    let src = r#"
+        fn f(v: &[u8]) -> u8 {
+            // lint:allow(v is non-empty: guarded by the caller's arity check)
+            v[0]
+        }
+    "#;
+    assert!(rules_of("crates/tree/src/nav.rs", src).is_empty());
+}
+
+#[test]
+fn r3_good_unwrap_in_test_module() {
+    let src = r#"
+        fn prod(v: Option<u8>) -> Option<u8> { v }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { assert_eq!(super::prod(Some(1)).unwrap(), 1); }
+        }
+    "#;
+    assert!(rules_of("crates/core/src/ops/xassembly.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R4 ---
+
+#[test]
+fn r4_bad_pi_struct_literal() {
+    let src = r#"
+        fn build(id: NodeId) -> Pi {
+            Pi { sl: 0, nl: id, sr: 0, nr: REnd::Done { id, order: 0 }, li: false }
+        }
+    "#;
+    let diags = check_source("crates/core/src/ops/xstep.rs", src);
+    assert_eq!(
+        diags.iter().map(|d| (d.rule, d.line)).collect::<Vec<_>>(),
+        vec![("R4", 3)]
+    );
+}
+
+#[test]
+fn r4_good_checked_constructor_and_impl() {
+    // Constructor calls, `impl Pi {`, and `-> Pi {` are all fine.
+    let src = r#"
+        fn build(id: NodeId) -> Pi {
+            Pi::band(0, id, 0, REnd::Done { id, order: 0 }, false)
+        }
+        impl Pi {
+            fn noop(&self) {}
+        }
+    "#;
+    assert!(rules_of("crates/core/src/ops/xstep.rs", src).is_empty());
+}
+
+#[test]
+fn r4_good_literal_inside_instance_rs() {
+    let src = "fn mk() -> Pi { Pi { sl: 0, nl: id, sr: 0, nr: end, li: false } }";
+    assert!(rules_of("crates/core/src/instance.rs", src).is_empty());
+}
+
+#[test]
+fn r4_bad_upward_crate_reference() {
+    // xml sits below tree; importing tree from xml inverts the layering.
+    let src = "use pathix_tree::NodeId;";
+    assert_eq!(rules_of("crates/xml/src/lib.rs", src), vec!["R4"]);
+}
+
+#[test]
+fn r4_good_downward_crate_reference() {
+    let src = "use pathix_tree::NodeId;\nuse pathix_storage::PageId;";
+    assert!(rules_of("crates/core/src/plan.rs", src).is_empty());
+}
+
+#[test]
+fn r4_manifest_layering() {
+    let bad = "[package]\nname = \"pathix-tree\"\n[dependencies]\npathix-core.workspace = true\n";
+    let diags = pathix_lint::workspace::check_manifest("crates/tree/Cargo.toml", bad);
+    assert_eq!(diags.len(), 1);
+    assert_eq!((diags[0].rule, diags[0].line), ("R4", 4));
+
+    let good = "[package]\nname = \"pathix-core\"\n[dependencies]\npathix-tree.workspace = true\n";
+    assert!(pathix_lint::workspace::check_manifest("crates/core/Cargo.toml", good).is_empty());
+}
+
+// ------------------------------------------------------- self-check ---
+
+#[test]
+fn real_workspace_is_clean() {
+    let root =
+        pathix_lint::find_workspace_root(&std::env::current_dir().expect("cwd available in test"))
+            .expect("lint tests run inside the pathix workspace");
+    let diags = pathix_lint::check_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace violates its own invariants:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

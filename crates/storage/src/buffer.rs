@@ -108,7 +108,10 @@ impl<T> FrameTable<T> {
 
     fn get(&mut self, page: PageId) -> Option<Arc<T>> {
         let &i = self.map.get(&page)?;
-        let f = self.slots[i].as_mut().expect("mapped frame exists");
+        // A mapped slot always holds a frame; if the table is ever
+        // inconsistent, report a miss instead of panicking — the caller
+        // re-reads the page.
+        let f = self.slots.get_mut(i)?.as_mut()?;
         f.referenced = true;
         Some(Arc::clone(&f.data))
     }
@@ -126,7 +129,8 @@ impl<T> FrameTable<T> {
         for _ in 0..2 * n {
             let i = self.hand;
             self.hand = (self.hand + 1) % n;
-            let Some(f) = self.slots[i].as_mut() else {
+            let slot = self.slots.get_mut(i)?;
+            let Some(f) = slot.as_mut() else {
                 return Some(i);
             };
             if Arc::strong_count(&f.data) > 1 {
@@ -144,30 +148,35 @@ impl<T> FrameTable<T> {
     fn insert(&mut self, page: PageId, data: Arc<T>, capacity: usize) -> InsertOutcome {
         debug_assert!(!self.map.contains_key(&page), "page already resident");
         let mut outcome = InsertOutcome::default();
-        let slot = if self.slots.len() < capacity {
-            self.slots.push(None);
-            self.slots.len() - 1
-        } else {
-            match self.find_victim() {
-                Some(i) => {
-                    if let Some(old) = self.slots[i].take() {
-                        self.map.remove(&old.page);
-                        outcome.evicted = true;
-                    }
-                    i
-                }
-                None => {
-                    outcome.overflowed = true;
-                    self.slots.push(None);
-                    self.slots.len() - 1
-                }
-            }
-        };
-        self.slots[slot] = Some(Frame {
+        let frame = Frame {
             page,
             data,
             referenced: true,
-        });
+        };
+        let victim = if self.slots.len() < capacity {
+            None
+        } else {
+            self.find_victim()
+        };
+        let slot = match victim.and_then(|i| self.slots.get_mut(i).map(|s| (i, s))) {
+            Some((i, s)) => {
+                if let Some(old) = s.take() {
+                    outcome.evicted = true;
+                    *s = Some(frame);
+                    self.map.remove(&old.page);
+                } else {
+                    *s = Some(frame);
+                }
+                i
+            }
+            None => {
+                if self.slots.len() >= capacity {
+                    outcome.overflowed = true;
+                }
+                self.slots.push(Some(frame));
+                self.slots.len() - 1
+            }
+        };
         self.map.insert(page, slot);
         outcome
     }
@@ -202,7 +211,12 @@ pub struct BufferManager<T, D> {
 
 impl<T, D: PageDecoder<T>> BufferManager<T, D> {
     /// Creates a buffer manager over `device`.
-    pub fn new(device: Box<dyn Device>, decoder: D, params: BufferParams, clock: Rc<SimClock>) -> Self {
+    pub fn new(
+        device: Box<dyn Device>,
+        decoder: D,
+        params: BufferParams,
+        clock: Rc<SimClock>,
+    ) -> Self {
         Self {
             device: RefCell::new(device),
             decoder,
@@ -264,20 +278,18 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
         // Was it prefetched? Then drain completions until it arrives.
         if self.submitted.borrow().contains(&page) {
             loop {
-                let c = self
-                    .device
-                    .borrow_mut()
-                    .poll(&self.clock, true)
-                    .expect("submitted page must complete");
+                let Some(c) = self.device.borrow_mut().poll(&self.clock, true) else {
+                    // The device reports nothing in flight despite the
+                    // submission record (lost request): forget it and fall
+                    // back to the synchronous read below.
+                    self.submitted.borrow_mut().remove(&page);
+                    break;
+                };
                 let done = c.page == page;
-                self.install_completion(c.page, &c.bytes);
+                let data = self.install_completion(c.page, &c.bytes);
                 if done {
                     self.stats.borrow_mut().misses += 1;
-                    return self
-                        .frames
-                        .borrow_mut()
-                        .get(page)
-                        .expect("just installed");
+                    return data;
                 }
             }
         }
@@ -333,10 +345,10 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
     }
 
     fn insert(&self, page: PageId, data: Arc<T>) {
-        let outcome = self
-            .frames
-            .borrow_mut()
-            .insert(page, data, self.params.get().capacity.max(1));
+        let outcome =
+            self.frames
+                .borrow_mut()
+                .insert(page, data, self.params.get().capacity.max(1));
         let mut st = self.stats.borrow_mut();
         if outcome.evicted {
             st.evictions += 1;
@@ -354,12 +366,15 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
     pub fn invalidate(&self, page: PageId) {
         let mut frames = self.frames.borrow_mut();
         if let Some(&i) = frames.map.get(&page) {
-            let pinned = frames.slots[i]
-                .as_ref()
-                .map(|f| Arc::strong_count(&f.data) > 1)
-                .unwrap_or(false);
+            let pinned = frames
+                .slots
+                .get(i)
+                .and_then(|s| s.as_ref())
+                .is_some_and(|f| Arc::strong_count(&f.data) > 1);
             assert!(!pinned, "invalidating pinned page {page}");
-            frames.slots[i] = None;
+            if let Some(s) = frames.slots.get_mut(i) {
+                *s = None;
+            }
             frames.map.remove(&page);
         }
     }

@@ -16,9 +16,9 @@ use crate::clock::SimClock;
 use crate::device::{Completion, Device, DeviceStats, PageId};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
 #[cfg(not(unix))]
 use std::io::Read;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -84,20 +84,18 @@ impl FileDevice {
             let tx = done_tx.clone();
             let page_size = self.page_size;
             let file = self.file.try_clone()?;
-            handles.push(std::thread::spawn(move || {
-                loop {
-                    let job = { rx.lock().recv() };
-                    match job {
-                        Ok(Job::Read(page)) => {
-                            let mut buf = vec![0u8; page_size];
-                            let got = read_at(&file, &mut buf, page as u64 * page_size as u64);
-                            if got.is_ok() && tx.send((page, buf)).is_ok() {
-                                continue;
-                            }
-                            break;
+            handles.push(std::thread::spawn(move || loop {
+                let job = { rx.lock().recv() };
+                match job {
+                    Ok(Job::Read(page)) => {
+                        let mut buf = vec![0u8; page_size];
+                        let got = read_at(&file, &mut buf, page as u64 * page_size as u64);
+                        if got.is_ok() && tx.send((page, buf)).is_ok() {
+                            continue;
                         }
-                        Ok(Job::Shutdown) | Err(_) => break,
+                        break;
                     }
+                    Ok(Job::Shutdown) | Err(_) => break,
                 }
             }));
         }
@@ -263,6 +261,9 @@ impl Device for FileDevice {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn tmpfile(name: &str) -> std::path::PathBuf {

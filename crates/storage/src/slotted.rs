@@ -136,7 +136,10 @@ impl<'a> SlottedPageReader<'a> {
         assert!(i < self.count, "slot {slot} out of range ({})", self.count);
         let start = self.offset(i);
         let end = self.offset(i + 1);
-        assert!(start <= end && end <= self.bytes.len(), "corrupt record bounds");
+        assert!(
+            start <= end && end <= self.bytes.len(),
+            "corrupt record bounds"
+        );
         &self.bytes[start..end]
     }
 

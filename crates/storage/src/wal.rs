@@ -153,8 +153,8 @@ impl SnapshotHandle {
 impl<D: Device> SnapshotDevice<D> {
     fn service_control(&mut self) {
         let mut inner = self.inner.borrow_mut();
-        let needs_snapshot = matches!(&inner.baseline, Some(b) if b.is_empty())
-            && !inner.crash_requested;
+        let needs_snapshot =
+            matches!(&inner.baseline, Some(b) if b.is_empty()) && !inner.crash_requested;
         if needs_snapshot {
             // Take the snapshot now.
             let clock = SimClock::new();
@@ -279,7 +279,11 @@ mod tests {
         let clock = SimClock::new();
         assert_eq!(device.read_sync(1, &clock)[0], 42);
         assert_eq!(device.read_sync(4, &clock)[0], 77);
-        assert_eq!(device.read_sync(2, &clock)[0], 2, "undurable write not applied");
+        assert_eq!(
+            device.read_sync(2, &clock)[0],
+            2,
+            "undurable write not applied"
+        );
     }
 
     #[test]
@@ -313,7 +317,7 @@ mod tests {
         wal.log_page(1, vec![11]);
         dev.write_page(1, vec![11]);
         wal.flush(); // commit
-        // Uncommitted transaction.
+                     // Uncommitted transaction.
         wal.log_page(2, vec![12]);
         dev.write_page(2, vec![12]);
 

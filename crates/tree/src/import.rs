@@ -30,9 +30,33 @@ use crate::node::{encode_cluster, encoded_size, Cluster, Node, NodeId, NodeKind}
 use crate::store::TreeMeta;
 use pathix_storage::{Device, PageId};
 use pathix_xml::{Document, NodeRef, XKind};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::fmt;
+
+/// Deterministic generator for placement permutations (SplitMix64). Kept
+/// local so the layout for a given seed is a fixed function of the seed
+/// alone — independent of any external PRNG crate's algorithm choices —
+/// and so the tree crate carries no `rand` dependency (DESIGN.md
+/// invariant R2).
+struct PlacementRng(u64);
+
+impl PlacementRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Fisher–Yates shuffle driven by [`PlacementRng`].
+fn seeded_shuffle(v: &mut [usize], seed: u64) {
+    let mut rng = PlacementRng(seed);
+    for i in (1..v.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
 
 /// Physical placement of clusters onto pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -345,8 +369,7 @@ fn placement_positions(n: usize, placement: Placement) -> Vec<usize> {
         }
         Placement::Shuffled { seed } => {
             let mut order: Vec<usize> = (0..n).collect();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            order.shuffle(&mut rng);
+            seeded_shuffle(&mut order, seed);
             for (position, &cluster) in order.iter().enumerate() {
                 pos[cluster] = position;
             }
@@ -363,8 +386,7 @@ fn placement_positions(n: usize, placement: Placement) -> Vec<usize> {
             let chunk = chunk.max(1);
             let n_chunks = n.div_ceil(chunk);
             let mut chunk_order: Vec<usize> = (0..n_chunks).collect();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            chunk_order.shuffle(&mut rng);
+            seeded_shuffle(&mut chunk_order, seed);
             let mut position = 0usize;
             for &c in &chunk_order {
                 for i in (c * chunk..((c + 1) * chunk).min(n)).take(chunk) {
@@ -490,6 +512,9 @@ pub fn import_into(
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use pathix_storage::{MemDevice, SimClock};
 
@@ -626,9 +651,7 @@ mod tests {
             }
         }
         orders.sort_unstable();
-        let expect: Vec<u64> = (0..doc.len() as u64)
-            .map(crate::node::order_key)
-            .collect();
+        let expect: Vec<u64> = (0..doc.len() as u64).map(crate::node::order_key).collect();
         assert_eq!(orders, expect);
     }
 
@@ -670,10 +693,14 @@ mod tests {
         let huge = "x".repeat(5000);
         doc.add_text(doc.root(), &huge);
         let mut dev = MemDevice::new(1024);
-        let err = import_into(&mut dev, &doc, &ImportConfig {
-            page_size: 1024,
-            placement: Placement::Sequential,
-        })
+        let err = import_into(
+            &mut dev,
+            &doc,
+            &ImportConfig {
+                page_size: 1024,
+                placement: Placement::Sequential,
+            },
+        )
         .unwrap_err();
         assert!(matches!(err, ImportError::RecordTooLarge { .. }));
     }
@@ -697,6 +724,9 @@ mod tests {
 
 #[cfg(test)]
 mod chunk_tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

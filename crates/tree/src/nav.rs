@@ -169,9 +169,14 @@ enum State {
         end_border: Option<u16>,
     },
     /// Depth-first walk (descendant / descendant-or-self).
-    Dfs { stack: Vec<u16> },
+    Dfs {
+        stack: Vec<u16>,
+    },
     /// Parent-chain walk (parent / ancestor / ancestor-or-self).
-    Up { cur: Option<u16>, single: bool },
+    Up {
+        cur: Option<u16>,
+        single: bool,
+    },
     /// Document-order walk (following / preceding): for each
     /// ancestor-or-self, the subtrees of its siblings on one side.
     Walk {
@@ -630,6 +635,9 @@ impl FullCursor {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::import::{import_into, ImportConfig, Placement};
     use crate::store::TreeStore;
@@ -811,12 +819,8 @@ mod tests {
         let cluster = store.fix_node(store.root());
         let test = ResolvedTest::resolve(&NodeTest::AnyNode, &store.meta.symbols);
         let cpu0 = clock.cpu_ns();
-        let mut cursor = StepCursor::new(
-            cluster,
-            Entry::Fresh(store.root().slot),
-            Axis::Child,
-            test,
-        );
+        let mut cursor =
+            StepCursor::new(cluster, Entry::Fresh(store.root().slot), Axis::Child, test);
         while cursor.next(&charge).is_some() {}
         let visited = counters.nodes_visited.get();
         assert!(visited > 0);

@@ -92,7 +92,10 @@ impl NodeKind {
 
     /// True for either border variant.
     pub fn is_border(&self) -> bool {
-        matches!(self, NodeKind::BorderDown { .. } | NodeKind::BorderUp { .. })
+        matches!(
+            self,
+            NodeKind::BorderDown { .. } | NodeKind::BorderUp { .. }
+        )
     }
 
     /// The companion border NodeId, for border nodes (the paper's

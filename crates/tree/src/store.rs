@@ -134,6 +134,9 @@ impl TreeStore {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::import::{import_into, ImportConfig, Placement};
     use crate::node::NodeKind;

@@ -19,7 +19,7 @@
 //!   therefore *fragment* the physical layout over time, which is the
 //!   premise of the paper's introduction (see the `aging` experiment).
 
-use crate::node::{encoded_size, encode_cluster, Cluster, Node, NodeId, NodeKind};
+use crate::node::{encode_cluster, encoded_size, Cluster, Node, NodeId, NodeKind};
 use crate::store::TreeStore;
 use pathix_storage::PageId;
 use pathix_xml::Symbol;
@@ -94,11 +94,7 @@ impl<'a> TreeUpdater<'a> {
 
     /// Encoded byte size of a cluster, including the slot directory.
     fn cluster_bytes(c: &Cluster) -> usize {
-        2 + (c.len() + 1) * 2
-            + c.nodes
-                .iter()
-                .map(|n| encoded_size(&n.kind))
-                .sum::<usize>()
+        2 + (c.len() + 1) * 2 + c.nodes.iter().map(|n| encoded_size(&n.kind)).sum::<usize>()
     }
 
     fn write(&self, cluster: &Cluster) {
@@ -110,7 +106,10 @@ impl<'a> TreeUpdater<'a> {
             wal.borrow_mut().log_page(cluster.page, bytes.clone());
         }
         self.store.buffer.invalidate(cluster.page);
-        self.store.buffer.device_mut().write_page(cluster.page, bytes);
+        self.store
+            .buffer
+            .device_mut()
+            .write_page(cluster.page, bytes);
     }
 
     /// Commits all updates performed so far: flushes the attached WAL (a
@@ -359,8 +358,11 @@ impl<'a> TreeUpdater<'a> {
         };
         while Self::cluster_bytes(cluster) + needed > page_size {
             let Some((_, slot)) = candidates.pop() else {
-                // Nothing (more) to relocate; undo bookkeeping is not
-                // needed — an extra empty page at the end is harmless.
+                // Abandon the relocation. The caller drops its in-memory
+                // `cluster` (with the proxies) unwritten on error, so the
+                // overflow page must stay empty: writing the relocated
+                // copies would duplicate live records on an orphan page.
+                overflow.nodes.clear();
                 self.write(&overflow);
                 return Err(UpdateError::ClusterFull { page: cluster.page });
             };
@@ -454,7 +456,9 @@ impl<'a> TreeUpdater<'a> {
             return Err(UpdateError::InvalidTarget("delete needs a core node"));
         }
         if target.parent.is_none() {
-            return Err(UpdateError::InvalidTarget("cannot delete the document root"));
+            return Err(UpdateError::InvalidTarget(
+                "cannot delete the document root",
+            ));
         }
         drop(cluster);
         self.unlink_and_tombstone(node)

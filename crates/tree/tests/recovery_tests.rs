@@ -2,9 +2,10 @@
 //! survive a crash that wipes every in-place page write; uncommitted
 //! updates vanish cleanly.
 
-use pathix_storage::{
-    recover, BufferParams, Device, MemDevice, SimClock, SnapshotDevice, WriteAheadLog,
-};
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
+use pathix_storage::{recover, BufferParams, MemDevice, SimClock, SnapshotDevice, WriteAheadLog};
 use pathix_tree::export::export;
 use pathix_tree::{
     import_into, ImportConfig, InsertPos, NewNode, Placement, TreeStore, TreeUpdater,
@@ -59,8 +60,11 @@ fn committed_updates_survive_a_crash() {
     let root = store.meta.root;
     {
         let mut up = TreeUpdater::new(&mut store);
-        up.insert(InsertPos::FirstChildOf(root), NewNode::Element("committed".into()))
-            .unwrap();
+        up.insert(
+            InsertPos::FirstChildOf(root),
+            NewNode::Element("committed".into()),
+        )
+        .unwrap();
         up.commit();
     }
     doc.insert_element_first(doc.root(), "committed");
@@ -70,8 +74,11 @@ fn committed_updates_survive_a_crash() {
     // Uncommitted transaction: an insert without a commit.
     {
         let mut up = TreeUpdater::new(&mut store);
-        up.insert(InsertPos::FirstChildOf(root), NewNode::Element("lost".into()))
-            .unwrap();
+        up.insert(
+            InsertPos::FirstChildOf(root),
+            NewNode::Element("lost".into()),
+        )
+        .unwrap();
         // no commit
     }
 

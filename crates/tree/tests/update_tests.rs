@@ -1,6 +1,9 @@
 //! Update-subsystem tests: stored-tree mutations mirrored against the
 //! logical document, structural invariants after updates, and error cases.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix_storage::{BufferParams, MemDevice, SimClock};
 use pathix_tree::export::export;
 use pathix_tree::{
@@ -186,9 +189,10 @@ fn order_key_space_exhausts_gracefully() {
     let root_id = store.meta.root;
     let mut failed = None;
     for i in 0..64 {
-        match TreeUpdater::new(&mut store)
-            .insert(InsertPos::FirstChildOf(root_id), NewNode::Element("z".into()))
-        {
+        match TreeUpdater::new(&mut store).insert(
+            InsertPos::FirstChildOf(root_id),
+            NewNode::Element("z".into()),
+        ) {
             Ok(_) => {
                 let _ = doc.insert_element_first(doc.root(), "z");
             }
@@ -258,7 +262,10 @@ fn randomized_mutations_stay_equivalent() {
                     if doc.is_element(pick.0) {
                         let tag = format!("t{}", rng.random_range(0..4));
                         if up
-                            .insert(InsertPos::FirstChildOf(pick.1), NewNode::Element(tag.clone()))
+                            .insert(
+                                InsertPos::FirstChildOf(pick.1),
+                                NewNode::Element(tag.clone()),
+                            )
                             .is_ok()
                         {
                             doc.insert_element_first(pick.0, &tag);

@@ -36,6 +36,9 @@ struct XNode {
     last_child: Option<NodeRef>,
     next_sibling: Option<NodeRef>,
     prev_sibling: Option<NodeRef>,
+    // Boxed so the common attribute-less node stays one pointer wide
+    // instead of carrying an inline Vec header.
+    #[allow(clippy::box_collection)]
     attrs: Option<Box<Vec<(Symbol, String)>>>,
 }
 
@@ -151,7 +154,9 @@ impl Document {
 
     /// Links an unlinked node right after `sibling`.
     fn link_after(&mut self, sibling: NodeRef, n: NodeRef) {
-        let parent = self.nodes[sibling.idx()].parent.expect("sibling has a parent");
+        let parent = self.nodes[sibling.idx()]
+            .parent
+            .expect("sibling has a parent");
         let next = self.nodes[sibling.idx()].next_sibling;
         self.nodes[n.idx()].parent = Some(parent);
         self.nodes[n.idx()].prev_sibling = Some(sibling);
@@ -203,7 +208,9 @@ impl Document {
     /// # Panics
     /// Panics when detaching the root.
     pub fn detach(&mut self, node: NodeRef) {
-        let parent = self.nodes[node.idx()].parent.expect("cannot detach the root");
+        let parent = self.nodes[node.idx()]
+            .parent
+            .expect("cannot detach the root");
         let prev = self.nodes[node.idx()].prev_sibling;
         let next = self.nodes[node.idx()].next_sibling;
         match prev {
@@ -398,8 +405,7 @@ impl Document {
                     }
                     let ac: Vec<_> = a.children(an).collect();
                     let bc: Vec<_> = b.children(bn).collect();
-                    ac.len() == bc.len()
-                        && ac.iter().zip(&bc).all(|(&x, &y)| eq(a, x, b, y))
+                    ac.len() == bc.len() && ac.iter().zip(&bc).all(|(&x, &y)| eq(a, x, b, y))
                 }
                 (XKind::Text(_), XKind::Text(_)) => a.text(an) == b.text(bn),
                 _ => false,
@@ -430,6 +436,9 @@ impl Iterator for PreorderIter<'_> {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn sample() -> Document {
@@ -530,7 +539,10 @@ mod tests {
         let b = d.add_element(d.root(), "b");
         let a = d.insert_element_first(d.root(), "a");
         let c = d.insert_element_after(b, "c");
-        let tags: Vec<_> = d.children(d.root()).map(|n| d.tag_name(n).unwrap()).collect();
+        let tags: Vec<_> = d
+            .children(d.root())
+            .map(|n| d.tag_name(n).unwrap())
+            .collect();
         assert_eq!(tags, vec!["a", "b", "c"]);
         assert_eq!(d.prev_sibling(b), Some(a));
         assert_eq!(d.next_sibling(b), Some(c));
@@ -538,7 +550,10 @@ mod tests {
         d.insert_text_after(c, "tail");
         assert_eq!(d.children(d.root()).count(), 4);
         d.insert_text_first(a, "head");
-        assert_eq!(d.first_child(a).and_then(|t| d.text(t).map(str::to_owned)), Some("head".into()));
+        assert_eq!(
+            d.first_child(a).and_then(|t| d.text(t).map(str::to_owned)),
+            Some("head".into())
+        );
     }
 
     #[test]
@@ -546,7 +561,10 @@ mod tests {
         let mut d = sample();
         let b = d.children(d.root()).next().unwrap();
         d.detach(b);
-        let tags: Vec<_> = d.children(d.root()).map(|n| d.tag_name(n).unwrap()).collect();
+        let tags: Vec<_> = d
+            .children(d.root())
+            .map(|n| d.tag_name(n).unwrap())
+            .collect();
         assert_eq!(tags, vec!["c"]);
         assert_eq!(d.descendants_or_self(d.root()).count(), 4);
     }

@@ -37,7 +37,7 @@ fn write_node(doc: &Document, node: NodeRef, out: &mut String, indent: Option<us
                 if depth > 0 {
                     out.push('\n');
                 }
-                out.extend(std::iter::repeat(' ').take(depth * 2));
+                out.push_str(&" ".repeat(depth * 2));
             }
             out.push('<');
             out.push_str(tag);
@@ -67,7 +67,7 @@ fn write_node(doc: &Document, node: NodeRef, out: &mut String, indent: Option<us
             }
             if let (Some(depth), true) = (indent, elements_only) {
                 out.push('\n');
-                out.extend(std::iter::repeat(' ').take(depth * 2));
+                out.push_str(&" ".repeat(depth * 2));
             }
             out.push_str("</");
             out.push_str(tag);
@@ -93,6 +93,9 @@ pub fn serialize_pretty(doc: &Document) -> String {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::parser::parse;
 

@@ -1,5 +1,8 @@
 //! Property tests: serializer/parser round-trips over arbitrary documents.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix_xml::{parse, serialize, serialize_pretty, Document};
 use proptest::prelude::*;
 
@@ -7,37 +10,35 @@ use proptest::prelude::*;
 fn doc_strategy() -> impl Strategy<Value = Document> {
     let tag = prop::sample::select(vec!["a", "b", "c", "ns:d", "x-y.z"]);
     let text = "[ -~]{0,30}"; // printable ASCII incl. <, &, quotes
-    prop::collection::vec((any::<usize>(), prop::bool::ANY, tag, text), 0..60).prop_map(
-        |nodes| {
-            let mut doc = Document::new("root");
-            let mut elements = vec![doc.root()];
-            for (psel, is_text, tag, text) in nodes {
-                let parent = elements[psel % elements.len()];
-                if is_text {
-                    // The data model keeps adjacent text nodes distinct but a
-                    // parse would merge them; give texts element siblings by
-                    // skipping empty/whitespace-only payloads.
-                    if !text.trim().is_empty() {
-                        // Avoid adjacent text nodes (parser would merge them).
-                        let last_is_text = doc
-                            .last_child(parent)
-                            .map(|c| !doc.is_element(c))
-                            .unwrap_or(false);
-                        if !last_is_text {
-                            doc.add_text(parent, &text);
-                        }
+    prop::collection::vec((any::<usize>(), prop::bool::ANY, tag, text), 0..60).prop_map(|nodes| {
+        let mut doc = Document::new("root");
+        let mut elements = vec![doc.root()];
+        for (psel, is_text, tag, text) in nodes {
+            let parent = elements[psel % elements.len()];
+            if is_text {
+                // The data model keeps adjacent text nodes distinct but a
+                // parse would merge them; give texts element siblings by
+                // skipping empty/whitespace-only payloads.
+                if !text.trim().is_empty() {
+                    // Avoid adjacent text nodes (parser would merge them).
+                    let last_is_text = doc
+                        .last_child(parent)
+                        .map(|c| !doc.is_element(c))
+                        .unwrap_or(false);
+                    if !last_is_text {
+                        doc.add_text(parent, &text);
                     }
-                } else {
-                    let el = doc.add_element(parent, &tag);
-                    if text.len() > 10 {
-                        doc.set_attr(el, "attr", &text);
-                    }
-                    elements.push(el);
                 }
+            } else {
+                let el = doc.add_element(parent, tag);
+                if text.len() > 10 {
+                    doc.set_attr(el, "attr", &text);
+                }
+                elements.push(el);
             }
-            doc
-        },
-    )
+        }
+        doc
+    })
 }
 
 proptest! {

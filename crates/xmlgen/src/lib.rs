@@ -219,7 +219,8 @@ impl Gen {
         for _ in 0..self.rng.random_range(1..=2) {
             let inc = self.doc.add_element(item, "incategory");
             let cat = self.rng.random_range(0..self.cfg.count(CATEGORIES));
-            self.doc.set_attr(inc, "category", &format!("category{cat}"));
+            self.doc
+                .set_attr(inc, "category", &format!("category{cat}"));
         }
         if self.rng.random_bool(0.7) {
             let mailbox = self.doc.add_element(item, "mailbox");
@@ -271,7 +272,8 @@ impl Gen {
         for _ in 0..self.rng.random_range(0..=2) {
             let w = self.doc.add_element(watches, "watch");
             let a = self.rng.random_range(0..self.cfg.count(OPEN_AUCTIONS));
-            self.doc.set_attr(w, "open_auction", &format!("open_auction{a}"));
+            self.doc
+                .set_attr(w, "open_auction", &format!("open_auction{a}"));
         }
     }
 
@@ -428,6 +430,9 @@ pub fn summarize(doc: &Document) -> GenSummary {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -458,9 +463,18 @@ mod tests {
     fn xmark_proportions_hold() {
         let s = summarize(&generate(&GenConfig::at_scale(0.25)));
         // namerica dominates items; emails = people count.
-        assert_eq!(s.items, ITEMS_PER_REGION.iter().map(|(_, n)| GenConfig::at_scale(0.25).count(*n)).sum::<usize>());
+        assert_eq!(
+            s.items,
+            ITEMS_PER_REGION
+                .iter()
+                .map(|(_, n)| GenConfig::at_scale(0.25).count(*n))
+                .sum::<usize>()
+        );
         assert_eq!(s.emails, GenConfig::at_scale(0.25).count(PEOPLE));
-        assert_eq!(s.closed_auctions, GenConfig::at_scale(0.25).count(CLOSED_AUCTIONS));
+        assert_eq!(
+            s.closed_auctions,
+            GenConfig::at_scale(0.25).count(CLOSED_AUCTIONS)
+        );
         // Every item, auction and category has a description.
         assert!(s.descriptions >= s.items + s.closed_auctions);
         // Annotations exist on all auctions.
@@ -486,12 +500,7 @@ mod tests {
             "emph",
             "keyword",
         ];
-        fn walk(
-            doc: &Document,
-            n: pathix_xml::NodeRef,
-            chain: &[&str],
-            hits: &mut usize,
-        ) {
+        fn walk(doc: &Document, n: pathix_xml::NodeRef, chain: &[&str], hits: &mut usize) {
             if chain.is_empty() {
                 *hits += 1;
                 return;
@@ -544,6 +553,9 @@ mod tests {
 
 #[cfg(test)]
 mod distribution_tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     /// Region item ratios should roughly follow XMark's proportions.
@@ -576,7 +588,11 @@ mod distribution_tests {
     fn text_nodes_present_in_volume() {
         let doc = generate(&GenConfig::at_scale(0.1));
         let texts = doc.len() - doc.element_count();
-        assert!(texts * 2 > doc.element_count(), "texts {texts} vs elements {}", doc.element_count());
+        assert!(
+            texts * 2 > doc.element_count(),
+            "texts {texts} vs elements {}",
+            doc.element_count()
+        );
     }
 
     /// Deep Q15 chains never exceed the configured parlist depth.

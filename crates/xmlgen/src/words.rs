@@ -7,14 +7,70 @@ use rand::RngExt;
 
 /// The generator's vocabulary.
 pub const WORDS: &[&str] = &[
-    "honour", "duteous", "sovereign", "malice", "homely", "prophet", "trumpet", "quarrel",
-    "solemn", "tongue", "banish", "majesty", "gentle", "herald", "slander", "breath",
-    "kingdom", "mirror", "shadow", "sorrow", "crown", "throne", "garden", "sceptre",
-    "tidings", "fortune", "exile", "grief", "lament", "pardon", "treason", "justice",
-    "virtue", "glory", "honest", "wisdom", "battle", "armour", "castle", "knight",
-    "herring", "ducat", "farthing", "merchant", "vessel", "harbour", "voyage", "tempest",
-    "wherefore", "thither", "hither", "anon", "prithee", "forsooth", "verily", "methinks",
-    "cousin", "uncle", "nephew", "daughter", "mother", "father", "brother", "sister",
+    "honour",
+    "duteous",
+    "sovereign",
+    "malice",
+    "homely",
+    "prophet",
+    "trumpet",
+    "quarrel",
+    "solemn",
+    "tongue",
+    "banish",
+    "majesty",
+    "gentle",
+    "herald",
+    "slander",
+    "breath",
+    "kingdom",
+    "mirror",
+    "shadow",
+    "sorrow",
+    "crown",
+    "throne",
+    "garden",
+    "sceptre",
+    "tidings",
+    "fortune",
+    "exile",
+    "grief",
+    "lament",
+    "pardon",
+    "treason",
+    "justice",
+    "virtue",
+    "glory",
+    "honest",
+    "wisdom",
+    "battle",
+    "armour",
+    "castle",
+    "knight",
+    "herring",
+    "ducat",
+    "farthing",
+    "merchant",
+    "vessel",
+    "harbour",
+    "voyage",
+    "tempest",
+    "wherefore",
+    "thither",
+    "hither",
+    "anon",
+    "prithee",
+    "forsooth",
+    "verily",
+    "methinks",
+    "cousin",
+    "uncle",
+    "nephew",
+    "daughter",
+    "mother",
+    "father",
+    "brother",
+    "sister",
 ];
 
 /// Produces a space-separated sentence of `n` words.

@@ -329,7 +329,10 @@ mod tests {
     fn rooted_adjusts_leading_step() {
         let p = LocationPath::new(vec![Step::child("site"), Step::child("regions")]);
         let r = p.rooted();
-        assert_eq!(r.steps[0], Step::new(Axis::SelfAxis, NodeTest::Name("site".into())));
+        assert_eq!(
+            r.steps[0],
+            Step::new(Axis::SelfAxis, NodeTest::Name("site".into()))
+        );
         assert_eq!(r.steps[1], Step::child("regions"));
         let d = LocationPath::new(vec![Step::descendant("item")]).rooted();
         assert_eq!(

@@ -143,6 +143,9 @@ pub fn eval_query(doc: &Document, context: NodeRef, query: &Query) -> QueryValue
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::parser::{parse_path, parse_query};
     use pathix_xml::parse;
@@ -215,9 +218,17 @@ mod tests {
     #[test]
     fn sibling_axes() {
         let d = pathix_xml::parse("<a><b/><c/><d/></a>").unwrap();
-        let r = eval_path(&d, d.root(), &parse_path("/b/following-sibling::*").unwrap());
+        let r = eval_path(
+            &d,
+            d.root(),
+            &parse_path("/b/following-sibling::*").unwrap(),
+        );
         assert_eq!(tags(&d, &r), vec!["c", "d"]);
-        let r = eval_path(&d, d.root(), &parse_path("/d/preceding-sibling::*").unwrap());
+        let r = eval_path(
+            &d,
+            d.root(),
+            &parse_path("/d/preceding-sibling::*").unwrap(),
+        );
         assert_eq!(tags(&d, &r), vec!["b", "c"]);
     }
 

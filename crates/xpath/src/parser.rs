@@ -225,6 +225,9 @@ pub fn parse_query(input: &str) -> Result<Query, PathParseError> {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -295,10 +298,9 @@ mod tests {
 
     #[test]
     fn q7_sum_of_counts() {
-        let q = parse_query(
-            "count(/site//description)+count(/site//annotation)+count(/site//email)",
-        )
-        .unwrap();
+        let q =
+            parse_query("count(/site//description)+count(/site//annotation)+count(/site//email)")
+                .unwrap();
         match q {
             Query::Sum(ts) => {
                 assert_eq!(ts.len(), 3);

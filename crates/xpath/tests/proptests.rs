@@ -1,5 +1,8 @@
 //! Property tests for the path parser and reference evaluator.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix_xpath::{eval_path, parse_path, Axis, LocationPath, NodeTest, Step};
 use proptest::prelude::*;
 

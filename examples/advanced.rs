@@ -6,6 +6,9 @@
 //! cargo run --release --example advanced [scale]
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, Method, PlanConfig};
 use pathix_tree::Placement;
 
@@ -14,9 +17,11 @@ fn main() {
         .nth(1)
         .map(|s| s.parse().expect("numeric scale"))
         .unwrap_or(0.25);
-    let mut opts = DatabaseOptions::default();
-    opts.placement = Placement::Shuffled { seed: 99 };
-    opts.buffer_pages = 100;
+    let opts = DatabaseOptions {
+        placement: Placement::Shuffled { seed: 99 },
+        buffer_pages: 100,
+        ..Default::default()
+    };
     let db = Database::from_xmark(scale, &opts).expect("import");
     println!("document: {} pages (shuffled layout)\n", db.pages());
 
@@ -24,11 +29,12 @@ fn main() {
     println!("• multiple paths, one I/O operator (Q7 as a single scan):");
     db.clear_buffers();
     db.reset_device_stats();
-    let independent = db.run(
-        "count(/site//description)+count(/site//annotation)+count(/site//email)",
-        Method::XScan,
-    )
-    .expect("query");
+    let independent = db
+        .run(
+            "count(/site//description)+count(/site//annotation)+count(/site//email)",
+            Method::XScan,
+        )
+        .expect("query");
     db.clear_buffers();
     db.reset_device_stats();
     let shared = db
@@ -47,9 +53,12 @@ fn main() {
 
     // --- E9: the optimizer ---------------------------------------------
     println!("• cost-model choice of the I/O operator:");
-    for q in ["/site//description", "/site/regions//item",
-              "/site/closed_auctions/closed_auction/annotation/description/parlist\
-               /listitem/parlist/listitem/text/emph/keyword"] {
+    for q in [
+        "/site//description",
+        "/site/regions//item",
+        "/site/closed_auctions/closed_auction/annotation/description/parlist\
+               /listitem/parlist/listitem/text/emph/keyword",
+    ] {
         let est = db.estimate(q).expect("estimate");
         println!(
             "  {:<28} touched ≈ {:>5.1}%  → {}",

@@ -11,6 +11,9 @@
 //! cargo run --release --example fragmentation [scale]
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, Method};
 use pathix_tree::Placement;
 
@@ -38,17 +41,17 @@ fn main() {
         "placement", "Simple[s]", "XSchedule[s]", "XScan[s]"
     );
     for (label, placement) in placements {
-        let mut opts = DatabaseOptions::default();
-        opts.placement = placement;
-        opts.buffer_pages = 100;
+        let opts = DatabaseOptions {
+            placement,
+            buffer_pages: 100,
+            ..Default::default()
+        };
         let db = Database::from_xmark(scale, &opts).expect("import");
         let mut times = Vec::new();
         for method in [Method::Simple, Method::xschedule(), Method::XScan] {
             db.clear_buffers();
             db.reset_device_stats();
-            let run = db
-                .run("count(/site/regions//item)", method)
-                .expect("query");
+            let run = db.run("count(/site/regions//item)", method).expect("query");
             times.push(run.report.total_secs());
         }
         println!(

@@ -9,6 +9,9 @@
 //! cargo run --release --example io_trace
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, Method};
 use pathix_tree::Placement;
 

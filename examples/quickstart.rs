@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, Method};
 use pathix_tree::Placement;
 
@@ -49,5 +52,8 @@ fn main() {
     let mut cfg = pathix::PlanConfig::new(Method::xschedule());
     cfg.sort = true;
     let titles = db.run_path("//title", &cfg).expect("path");
-    println!("//title matched {} nodes (in document order)", titles.nodes.len());
+    println!(
+        "//title matched {} nodes (in document order)",
+        titles.nodes.len()
+    );
 }

@@ -6,6 +6,9 @@
 //! cargo run --release --example updates
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, DeviceKind, Method};
 use pathix_storage::{recover, SimClock, WriteAheadLog};
 use pathix_tree::{InsertPos, NewNode, Placement};

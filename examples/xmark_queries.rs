@@ -5,6 +5,9 @@
 //! cargo run --release --example xmark_queries [scale]
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, Method};
 
 fn main() {
@@ -13,8 +16,10 @@ fn main() {
         .map(|s| s.parse().expect("numeric scale"))
         .unwrap_or(0.25);
 
-    let mut opts = DatabaseOptions::default();
-    opts.buffer_pages = 100;
+    let opts = DatabaseOptions {
+        buffer_pages: 100,
+        ..Default::default()
+    };
     println!("generating XMark document at scaling factor {scale}…");
     let db = Database::from_xmark(scale, &opts).expect("import");
     println!(

@@ -8,6 +8,9 @@
 //! pathix info   [--scale S | --xml FILE]          # storage statistics
 //! ```
 
+// Demo binaries print to stdout and unwrap for brevity.
+#![allow(clippy::unwrap_used, clippy::print_stdout)]
+
 use pathix::{Database, DatabaseOptions, Method, PlanConfig};
 use pathix_tree::Placement;
 use std::process::ExitCode;
@@ -41,10 +44,7 @@ fn parse_args(mut argv: Vec<String>) -> Result<(String, Args), String> {
     };
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--scale" => args.scale = val("--scale")?.parse().map_err(|e| format!("{e}"))?,
             "--xml" => args.xml_file = Some(val("--xml")?),
@@ -97,10 +97,7 @@ fn run() -> Result<(), String> {
     let (cmd, args) = parse_args(std::env::args().skip(1).collect())?;
     match cmd.as_str() {
         "query" => {
-            let query = args
-                .rest
-                .first()
-                .ok_or("query: missing query string")?;
+            let query = args.rest.first().ok_or("query: missing query string")?;
             let db = open_db(&args)?;
             let (method, run) = match pick_method(&args.method)? {
                 Some(m) => {
@@ -133,8 +130,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "gen" => {
-            let doc =
-                pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(args.scale));
+            let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(args.scale));
             if args.rest.iter().any(|r| r == "--pretty") {
                 print!("{}", pathix_xml::serialize_pretty(&doc));
             } else {
@@ -147,7 +143,10 @@ fn run() -> Result<(), String> {
             let meta = &db.store().meta;
             let rep = db.import_report();
             println!("pages:        {}", meta.page_count);
-            println!("nodes:        {} ({} elements)", meta.node_count, meta.element_count);
+            println!(
+                "nodes:        {} ({} elements)",
+                meta.node_count, meta.element_count
+            );
             println!("border edges: {}", rep.border_edges);
             println!(
                 "record bytes: {} ({:.1}% page fill)",

@@ -2,9 +2,9 @@
 //! queries with any of the paper's three physical methods.
 
 use pathix_core::{
-    execute_interleaved, execute_path, execute_paths_shared_scan, execute_query,
-    ConcurrentRun, ExecReport, Method, MultiPathRun, Optimizer, PlanConfig, PlanEstimate,
-    PathRun, QueryRun,
+    execute_interleaved, execute_path, execute_paths_shared_scan, execute_query, ConcurrentRun,
+    ExecError, ExecReport, Method, MultiPathRun, Optimizer, PathRun, PlanConfig, PlanEstimate,
+    QueryRun,
 };
 use pathix_storage::{
     BufferParams, Device, DiskProfile, MemDevice, QueuePolicy, SimClock, SimDisk,
@@ -66,6 +66,8 @@ pub enum DbError {
     Parse(PathParseError),
     /// The document could not be stored (e.g. an oversized record).
     Import(pathix_tree::import::ImportError),
+    /// A physical plan broke its output contract during execution.
+    Exec(ExecError),
 }
 
 impl fmt::Display for DbError {
@@ -73,6 +75,7 @@ impl fmt::Display for DbError {
         match self {
             DbError::Parse(e) => write!(f, "{e}"),
             DbError::Import(e) => write!(f, "{e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
         }
     }
 }
@@ -91,6 +94,12 @@ impl From<pathix_tree::import::ImportError> for DbError {
     }
 }
 
+impl From<ExecError> for DbError {
+    fn from(e: ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+
 /// A stored document plus everything needed to query it.
 pub struct Database {
     store: TreeStore,
@@ -101,9 +110,7 @@ impl Database {
     /// Imports `doc` into a fresh device.
     pub fn from_document(doc: &Document, opts: &DatabaseOptions) -> Result<Self, DbError> {
         let mut device: Box<dyn Device> = match opts.device {
-            DeviceKind::SimDisk => {
-                Box::new(SimDisk::with_profile(opts.page_size, opts.profile))
-            }
+            DeviceKind::SimDisk => Box::new(SimDisk::with_profile(opts.page_size, opts.profile)),
             DeviceKind::SimDiskFifo => {
                 let mut d = SimDisk::with_profile(opts.page_size, opts.profile);
                 d.set_policy(QueuePolicy::Fifo);
@@ -172,13 +179,13 @@ impl Database {
     /// Runs a query string with full plan configuration.
     pub fn run_with(&self, query: &str, cfg: &PlanConfig) -> Result<QueryRun, DbError> {
         let q = parse_query(query)?.rooted();
-        Ok(execute_query(&self.store, &q, cfg))
+        Ok(execute_query(&self.store, &q, cfg)?)
     }
 
     /// Runs a bare location path, returning the result nodes.
     pub fn run_path(&self, path: &str, cfg: &PlanConfig) -> Result<PathRun, DbError> {
         let p = parse_path(path)?.rooted();
-        Ok(execute_path(&self.store, &p, cfg))
+        Ok(execute_path(&self.store, &p, cfg)?)
     }
 
     /// Runs a location path from explicit context nodes.
@@ -194,7 +201,7 @@ impl Database {
             &p,
             contexts,
             cfg,
-        ))
+        )?)
     }
 
     /// Evaluates several location paths with **one** shared sequential scan
@@ -218,12 +225,11 @@ impl Database {
             .iter()
             .map(|(p, m)| parse_path(p).map(|x| (x.rooted(), *m)))
             .collect::<Result<_, _>>()?;
-        Ok(execute_interleaved(&self.store, &parsed, cfg))
+        Ok(execute_interleaved(&self.store, &parsed, cfg)?)
     }
 
     fn optimizer(&self) -> Optimizer<'_> {
-        let mut opt =
-            Optimizer::new(&self.store.meta, pathix_storage::DiskProfile::default());
+        let mut opt = Optimizer::new(&self.store.meta, pathix_storage::DiskProfile::default());
         // Two border nodes per inter-cluster edge, spread over the pages.
         opt.borders_per_cluster = (2.0 * self.import_report.border_edges as f64
             / self.store.meta.page_count.max(1) as f64)
@@ -248,7 +254,7 @@ impl Database {
             .first()
             .map(|p| opt.choose(p))
             .unwrap_or(Method::xschedule());
-        let run = execute_query(&self.store, &q, &PlanConfig::new(method));
+        let run = execute_query(&self.store, &q, &PlanConfig::new(method))?;
         Ok((method, run))
     }
 
@@ -301,6 +307,9 @@ impl Database {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     fn mem_opts() -> DatabaseOptions {
@@ -334,7 +343,10 @@ mod tests {
     #[test]
     fn parse_error_surfaces() {
         let db = Database::from_xml("<a/>", &mem_opts()).unwrap();
-        assert!(matches!(db.run("junk", Method::Simple), Err(DbError::Parse(_))));
+        assert!(matches!(
+            db.run("junk", Method::Simple),
+            Err(DbError::Parse(_))
+        ));
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! shared scan, the cost-model optimizer, concurrent execution, and
 //! scan-based export.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix::{Database, DatabaseOptions, DeviceKind, Method, PlanConfig};
 use pathix_tree::Placement;
 use pathix_xpath::{eval_path, parse_path};

@@ -2,9 +2,12 @@
 //! single-visit guarantees, I/O confinement, duplicate-freedom, and device
 //! model sanity.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix::{Database, DatabaseOptions, DeviceKind, Method, PlanConfig};
-use pathix_storage::{QueuePolicy, SimClock, SimDisk};
 use pathix_storage::Device;
+use pathix_storage::{QueuePolicy, SimClock, SimDisk};
 use pathix_tree::Placement;
 
 fn db(scale: f64, placement: Placement) -> Database {
@@ -41,7 +44,10 @@ fn xscan_single_visit_in_physical_order() {
 fn speculative_xschedule_never_rereads() {
     let db = db(0.04, Placement::Shuffled { seed: 6 });
     db.trace_device(true);
-    for q in ["count(//item/..//name)", "count(//listitem//keyword/ancestor::text)"] {
+    for q in [
+        "count(//item/..//name)",
+        "count(//listitem//keyword/ancestor::text)",
+    ] {
         db.clear_buffers();
         db.reset_device_stats();
         let _ = db
@@ -57,7 +63,11 @@ fn speculative_xschedule_never_rereads() {
         let mut dedup = trace.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(trace.len(), dedup.len(), "cluster re-read under speculation: {q}");
+        assert_eq!(
+            trace.len(),
+            dedup.len(),
+            "cluster re-read under speculation: {q}"
+        );
     }
 }
 

@@ -4,6 +4,9 @@
 //! and fallback-forced variants — produces exactly the node set of the
 //! in-memory reference evaluator, in document order.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix::{Database, DatabaseOptions, DeviceKind, Method, PlanConfig};
 use pathix_tree::Placement;
 use pathix_xml::Document;
@@ -79,7 +82,7 @@ fn reference_orders(doc: &Document, path: &LocationPath) -> Vec<u64> {
 }
 
 fn run_orders(db: &Database, path: &LocationPath, cfg: &PlanConfig) -> Vec<u64> {
-    let run = pathix_core::plan::execute_path(db.store(), path, cfg);
+    let run = pathix_core::plan::execute_path(db.store(), path, cfg).expect("plan executes");
     run.nodes.iter().map(|&(_, o)| o).collect()
 }
 

@@ -2,6 +2,9 @@
 //! device, simulated-disk timing is deterministic, and the clock/stats
 //! plumbing is consistent end to end.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix::{Database, DatabaseOptions, DeviceKind, Method};
 use pathix_storage::{BufferParams, FileDevice, SimClock};
 use pathix_tree::{import_into, ImportConfig, Placement, TreeStore};
@@ -37,15 +40,11 @@ fn file_device_end_to_end() {
         Rc::new(SimClock::new()),
     );
     let q = pathix_xpath::parse_query("count(//item)").unwrap().rooted();
-    let reference =
-        pathix_xpath::eval_query(&doc, doc.root(), &q).as_number();
+    let reference = pathix_xpath::eval_query(&doc, doc.root(), &q).as_number();
     for method in [Method::Simple, Method::xschedule(), Method::XScan] {
         store.buffer.reset();
-        let run = pathix_core::execute_query(
-            &store,
-            &q,
-            &pathix_core::PlanConfig::new(method),
-        );
+        let run = pathix_core::execute_query(&store, &q, &pathix_core::PlanConfig::new(method))
+            .expect("query executes");
         assert_eq!(run.value, reference, "{method:?} over FileDevice");
     }
     drop(store);
@@ -99,11 +98,17 @@ fn fifo_device_not_faster_for_xschedule() {
     let q = "count(/site/regions//item)";
     let t_sstf = {
         sstf.clear_buffers();
-        sstf.run(q, Method::xschedule()).unwrap().report.total_secs()
+        sstf.run(q, Method::xschedule())
+            .unwrap()
+            .report
+            .total_secs()
     };
     let t_fifo = {
         fifo.clear_buffers();
-        fifo.run(q, Method::xschedule()).unwrap().report.total_secs()
+        fifo.run(q, Method::xschedule())
+            .unwrap()
+            .report
+            .total_secs()
     };
     assert!(
         t_sstf <= t_fifo * 1.001,

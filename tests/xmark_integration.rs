@@ -2,6 +2,9 @@
 //! identical answers across every physical plan, placements don't change
 //! results, and answers match the in-memory reference evaluator.
 
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
 use pathix::{Database, DatabaseOptions, DeviceKind, Method, PlanConfig};
 use pathix_tree::Placement;
 use pathix_xpath::{eval_query, parse_query};
@@ -92,8 +95,7 @@ fn page_size_does_not_change_answers() {
 #[test]
 fn document_order_is_stable_across_plans() {
     let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(0.03));
-    let db =
-        Database::from_document(&doc, &opts(Placement::Shuffled { seed: 11 })).unwrap();
+    let db = Database::from_document(&doc, &opts(Placement::Shuffled { seed: 11 })).unwrap();
     let mut cfg = PlanConfig::new(Method::XScan);
     cfg.sort = true;
     let scan = db.run_path("/site/regions//item/name", &cfg).unwrap();
