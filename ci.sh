@@ -10,6 +10,9 @@
 #   4. pathix-lint check      — the R1-R4 architectural invariants
 #      (I/O confinement, determinism, panic-freedom, layering; see
 #      DESIGN.md "Statically enforced invariants")
+#   5. cargo bench --no-run   — criterion benches stay compiling
+#   6. report throughput --fast — throughput smoke (instant disk profile,
+#      small document; does not overwrite BENCH_PR2.json)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,5 +27,11 @@ cargo test -q
 
 echo "==> pathix-lint check"
 cargo run -q -p pathix-lint -- check
+
+echo "==> cargo bench --no-run (compile gate)"
+cargo bench --no-run --workspace
+
+echo "==> throughput smoke (fast mode)"
+cargo run -q --release -p pathix-bench --bin report -- throughput --fast
 
 echo "ci: all gates passed"

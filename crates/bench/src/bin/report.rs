@@ -1,16 +1,20 @@
 //! Regenerates the paper's evaluation artifacts on the simulated substrate.
 //!
 //! ```text
-//! report [--sf-max N] [--factors a,b,c] <experiment>...
+//! report [--sf-max N] [--factors a,b,c] [--fast] <experiment>...
 //! experiments: tab2 fig9 fig10 fig11 tab3 example1
 //!              ablation-k ablation-frag ablation-spec ablation-fallback
 //!              ablation-buffer ablation-device all
+//!              throughput   (not part of `all`; writes BENCH_PR2.json —
+//!                            with --fast: small doc, instant disk profile,
+//!                            no artifact written)
 //! ```
 
 // Stdout is this binary's output channel.
 #![allow(clippy::print_stdout)]
 
 use pathix_bench::table::{ratio, render, secs};
+use pathix_bench::throughput::{emit_json, engine_sweep, micro_sweep, DEPTHS, MICRO_PENDING};
 use pathix_bench::*;
 
 fn fig(query_label: &str, query: &str, factors: &[f64]) {
@@ -99,13 +103,94 @@ fn example1_report() {
     println!();
 }
 
+fn throughput_report(fast: bool) {
+    let (pending, depths, scale) = if fast {
+        (512, &DEPTHS[..3], 0.02)
+    } else {
+        (MICRO_PENDING, &DEPTHS[..], 0.25)
+    };
+    println!("== Throughput: indexed command queue vs naive alloc+sort (wall clock) ==");
+    let micro = micro_sweep(pending, depths);
+    let rows: Vec<Vec<String>> = micro
+        .iter()
+        .map(|r| {
+            vec![
+                r.depth.to_string(),
+                r.pending.to_string(),
+                format!("{:.3}", r.naive_ms),
+                format!("{:.3}", r.indexed_ms),
+                format!("{:.2}x", r.speedup),
+                r.agree.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "depth",
+                "pending",
+                "naive[ms]",
+                "indexed[ms]",
+                "speedup",
+                "agree"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "== Throughput: engine pages/s and result-nodes/s per queue depth (Q6', wall clock) =="
+    );
+    let engine = engine_sweep(scale, depths, fast);
+    let rows: Vec<Vec<String>> = engine
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                r.depth.to_string(),
+                format!("{:.1}", r.wall_ms),
+                r.pages_read.to_string(),
+                format!("{:.0}", r.pages_per_s),
+                format!("{:.0}", r.nodes_per_s),
+                secs(r.sim_total_s),
+                r.page_copies.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "plan",
+                "depth",
+                "wall[ms]",
+                "pages",
+                "pages/s",
+                "nodes/s",
+                "sim[s]",
+                "page copies"
+            ],
+            &rows
+        )
+    );
+    if fast {
+        println!("(fast mode: BENCH_PR2.json not written)");
+    } else {
+        let json = emit_json(scale, &micro, &engine);
+        std::fs::write("BENCH_PR2.json", json).expect("write BENCH_PR2.json");
+        println!("wrote BENCH_PR2.json");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut factors: Vec<f64> = SCALING_FACTORS.to_vec();
     let mut wanted: Vec<String> = Vec::new();
+    let mut fast = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--fast" => fast = true,
             "--factors" => {
                 i += 1;
                 factors = args
@@ -304,5 +389,9 @@ fn main() {
             .map(|(l, s)| vec![l, secs(s)])
             .collect();
         println!("{}", render(&["device", "total[s]"], &rows));
+    }
+    // Not part of `all`: measures the substrate, not the paper's figures.
+    if wanted.iter().any(|w| w == "throughput") {
+        throughput_report(fast);
     }
 }

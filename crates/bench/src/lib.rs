@@ -15,5 +15,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use experiments::*;

@@ -20,7 +20,7 @@ use crate::ops::Operator;
 use pathix_storage::PageId;
 use pathix_tree::{Cluster, NodeId};
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -45,10 +45,37 @@ pub struct QEntry {
     pub li: bool,
 }
 
-/// The queue `Q` shared between `XSchedule` and `XAssembly`.
+/// Within-page portion of a [`QEntry`], in the paper's lexicographic queue
+/// order (step `S_R` first). Keying `Q` by page and then by this tuple
+/// preserves the exact iteration order of the former flat
+/// `BTreeSet<QEntry>`.
+type QKey = (u16, u16, bool, u16, NodeId, bool);
+
+fn qkey(e: QEntry) -> QKey {
+    (e.sr, e.slot, e.resume, e.sl, e.nl, e.li)
+}
+
+fn qentry(page: PageId, k: QKey) -> QEntry {
+    let (sr, slot, resume, sl, nl, li) = k;
+    QEntry {
+        page,
+        sr,
+        slot,
+        resume,
+        sl,
+        nl,
+        li,
+    }
+}
+
+/// The queue `Q` shared between `XSchedule` and `XAssembly`, keyed by page:
+/// dedup on `push`, `pop_for_page`, and the page-membership probes are all
+/// O(log |Q|) map operations instead of scans over unrelated entries.
 #[derive(Debug, Default)]
 pub struct SchedShared {
-    q: BTreeSet<QEntry>,
+    q: BTreeMap<PageId, BTreeSet<QKey>>,
+    /// Total entries across all pages (every per-page set is non-empty).
+    entries: usize,
     /// Clusters for which speculative instances were already generated.
     visited: HashSet<PageId>,
     /// Whether the owning `XSchedule` runs speculatively; lets `XAssembly`
@@ -60,37 +87,42 @@ pub struct SchedShared {
 impl SchedShared {
     /// Inserts an entry; returns false if it was already queued.
     pub fn push(&mut self, e: QEntry) -> bool {
-        self.q.insert(e)
+        let inserted = self.q.entry(e.page).or_default().insert(qkey(e));
+        if inserted {
+            self.entries += 1;
+        }
+        inserted
     }
 
     /// Number of queued entries.
     pub fn len(&self) -> usize {
-        self.q.len()
+        self.entries
     }
 
     /// True if `Q` is empty.
     pub fn is_empty(&self) -> bool {
-        self.q.is_empty()
+        self.entries == 0
     }
 
     fn pop_for_page(&mut self, page: PageId) -> Option<QEntry> {
-        let found = *self
-            .q
-            .range(
-                QEntry {
-                    page,
-                    sr: 0,
-                    slot: 0,
-                    resume: false,
-                    sl: 0,
-                    nl: NodeId::new(0, 0),
-                    li: false,
-                }..,
-            )
-            .next()
-            .filter(|e| e.page == page)?;
-        self.q.remove(&found);
-        Some(found)
+        let set = self.q.get_mut(&page)?;
+        let first = *set.iter().next()?;
+        set.remove(&first);
+        if set.is_empty() {
+            self.q.remove(&page);
+        }
+        self.entries -= 1;
+        Some(qentry(page, first))
+    }
+
+    /// True if at least one entry targets `page`.
+    fn contains_page(&self, page: PageId) -> bool {
+        self.q.contains_key(&page)
+    }
+
+    /// The lowest-numbered page with a queued entry.
+    fn first_page(&self) -> Option<PageId> {
+        self.q.keys().next().copied()
     }
 
     /// True if the plan speculates and `page`'s speculative instances were
@@ -100,16 +132,15 @@ impl SchedShared {
     }
 
     fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
-        // Entries are page-ordered; deduplicate consecutive pages.
-        let mut last = None;
-        self.q.iter().filter_map(move |e| {
-            if last == Some(e.page) {
-                None
-            } else {
-                last = Some(e.page);
-                Some(e.page)
-            }
-        })
+        self.q.keys().copied()
+    }
+
+    /// All entries in queue order (page, then within-page key).
+    #[cfg(test)]
+    fn entries_in_order(&self) -> impl Iterator<Item = QEntry> + '_ {
+        self.q
+            .iter()
+            .flat_map(|(&page, set)| set.iter().map(move |&k| qentry(page, k)))
     }
 }
 
@@ -261,7 +292,7 @@ impl Operator for XSchedule {
                 Some(p) => cx.store.fix(p),
                 None => match cx.store.buffer.fix_any_prefetched(true) {
                     Some((p, cl)) => {
-                        let needed = self.shared.borrow().pages().any(|q| q == p);
+                        let needed = self.shared.borrow().contains_page(p);
                         if !needed {
                             // Stale completion: the cluster stays cached for
                             // later hits, but nothing to serve from it now.
@@ -275,7 +306,7 @@ impl Operator for XSchedule {
                         // read synchronously. Q was checked non-empty
                         // above; if it drained concurrently, loop back to
                         // the emptiness check instead of panicking.
-                        let first = self.shared.borrow().pages().next();
+                        let first = self.shared.borrow().first_page();
                         match first {
                             Some(p) => cx.store.fix(p),
                             None => continue,
@@ -320,7 +351,7 @@ mod tests {
         q.push(e(2, 3, 0));
         q.push(e(2, 1, 0));
         q.push(e(5, 0, 1));
-        let order: Vec<(PageId, u16)> = q.q.iter().map(|x| (x.page, x.sr)).collect();
+        let order: Vec<(PageId, u16)> = q.entries_in_order().map(|x| (x.page, x.sr)).collect();
         assert_eq!(order, vec![(2, 1), (2, 3), (5, 0), (5, 1)]);
         assert_eq!(q.pop_for_page(2).unwrap().sr, 1);
         assert_eq!(q.pop_for_page(2).unwrap().sr, 3);

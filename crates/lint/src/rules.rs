@@ -58,6 +58,7 @@ const IO_IDENTS: &[&str] = &[
 fn in_panic_free_zone(path: &str) -> bool {
     path.starts_with("crates/core/src/ops/")
         || path == "crates/storage/src/buffer.rs"
+        || path == "crates/storage/src/sim_disk.rs"
         || path == "crates/tree/src/nav.rs"
 }
 

@@ -573,6 +573,28 @@ mod tests {
     }
 
     #[test]
+    fn fix_path_copies_no_page_bytes() {
+        // Acceptance criterion (ISSUE 2): zero page-copies per read on the
+        // buffer fix path — sync misses, prefetched async loads, and hits
+        // all serve page bytes by reference on a simulated device.
+        let mut disk = SimDisk::with_profile(32, DiskProfile::default());
+        for i in 0..8u8 {
+            disk.append_page(vec![i]);
+        }
+        let clock = Rc::new(SimClock::new());
+        let b = BufferManager::new(Box::new(disk), FirstByte, BufferParams::default(), clock);
+        b.fix(3); // cold sync miss
+        b.prefetch(5);
+        b.prefetch(1);
+        b.fix(5); // async completion path
+        while b.fix_any_prefetched(true).is_some() {}
+        b.fix(3); // hit
+        let d = b.device_stats();
+        assert!(d.reads >= 3);
+        assert_eq!(d.page_copies, 0, "a read must never copy a page image");
+    }
+
+    #[test]
     fn works_over_sim_disk_with_time() {
         let mut disk = SimDisk::with_profile(32, DiskProfile::default());
         for i in 0..5u8 {

@@ -9,6 +9,7 @@
 //! in whatever order the device found cheapest.
 
 use crate::clock::SimClock;
+use std::sync::Arc;
 
 /// Identifier of a physical page on a device. Pages are numbered from zero in
 /// physical (platter) order, so the distance between two `PageId`s is a proxy
@@ -20,8 +21,10 @@ pub type PageId = u32;
 pub struct Completion {
     /// The page that was read.
     pub page: PageId,
-    /// Raw page bytes.
-    pub bytes: Vec<u8>,
+    /// Raw page bytes, shared with the device's own page store — cloning a
+    /// `Completion` (or handing it to the buffer manager) bumps a reference
+    /// count, it never copies the page image.
+    pub bytes: Arc<[u8]>,
     /// Simulated time at which the device finished the read.
     pub finished_at_ns: u64,
 }
@@ -39,6 +42,11 @@ pub struct DeviceStats {
     pub seek_distance_pages: u64,
     /// Total simulated nanoseconds the device spent busy.
     pub busy_ns: u64,
+    /// Fresh page-image materializations (full-page byte copies) performed
+    /// while serving reads. Simulated and in-memory devices serve reads by
+    /// reference (`Arc` clone) and keep this at zero; real file-backed
+    /// devices necessarily copy once per read from the kernel.
+    pub page_copies: u64,
 }
 
 impl DeviceStats {
@@ -64,7 +72,9 @@ pub trait Device {
     fn page_size(&self) -> usize;
 
     /// Reads a page synchronously, blocking the clock for the access cost.
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Vec<u8>;
+    /// The returned bytes are shared with the device where possible
+    /// (`&Arc<[u8]>` deref-coerces to `&[u8]` at call sites).
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]>;
 
     /// Submits an asynchronous read request. The device may serve queued
     /// requests in any order.

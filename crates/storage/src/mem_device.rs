@@ -5,13 +5,14 @@
 use crate::clock::SimClock;
 use crate::device::{Completion, Device, DeviceStats, PageId};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Zero-latency in-memory page store.
 ///
 /// Still keeps full statistics and an optional access trace, so tests can
 /// assert *which* pages a plan touches without caring about time.
 pub struct MemDevice {
-    pages: Vec<Vec<u8>>,
+    pages: Vec<Arc<[u8]>>,
     page_size: usize,
     queued: VecDeque<PageId>,
     stats: DeviceStats,
@@ -58,9 +59,9 @@ impl Device for MemDevice {
         self.page_size
     }
 
-    fn read_sync(&mut self, page: PageId, _clock: &SimClock) -> Vec<u8> {
+    fn read_sync(&mut self, page: PageId, _clock: &SimClock) -> Arc<[u8]> {
         self.account(page);
-        self.pages[page as usize].clone()
+        Arc::clone(&self.pages[page as usize])
     }
 
     fn submit(&mut self, page: PageId, _clock: &SimClock) {
@@ -76,7 +77,7 @@ impl Device for MemDevice {
         self.account(page);
         Some(Completion {
             page,
-            bytes: self.pages[page as usize].clone(),
+            bytes: Arc::clone(&self.pages[page as usize]),
             finished_at_ns: clock.now_ns(),
         })
     }
@@ -90,7 +91,7 @@ impl Device for MemDevice {
         let id = self.pages.len() as PageId;
         let mut b = bytes;
         b.resize(self.page_size, 0);
-        self.pages.push(b);
+        self.pages.push(Arc::from(b));
         id
     }
 
@@ -98,7 +99,7 @@ impl Device for MemDevice {
         assert!(bytes.len() <= self.page_size, "page overflow");
         let mut b = bytes;
         b.resize(self.page_size, 0);
-        self.pages[page as usize] = b;
+        self.pages[page as usize] = Arc::from(b);
     }
 
     fn stats(&self) -> DeviceStats {

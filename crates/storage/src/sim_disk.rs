@@ -16,9 +16,26 @@
 //! The device runs "in the background": requests submitted while the CPU is
 //! busy complete during that CPU time and do not stall the caller — this is
 //! what makes asynchronous plans overlap computation and I/O.
+//!
+//! ## Command-queue complexity
+//!
+//! The pending set is an **incrementally maintained visible-window index**
+//! ([`CommandQueue`]): picking the next command is O(1) for FIFO and
+//! O(log w) for SSTF/Elevator (w = visible window size), and serving a
+//! command is O(log w) — no allocation and no re-sort per serve. The
+//! original alloc-and-sort implementation survives as the
+//! `#[cfg(test)]` reference oracle; property tests in this file prove the
+//! indexed queue serves the identical order at the identical simulated
+//! times for all three policies.
+//!
+//! Page contents are held as `Arc<[u8]>`: serving a read clones a
+//! reference count, never the page image (see
+//! [`DeviceStats::page_copies`]).
 
 use crate::clock::SimClock;
 use crate::device::{Completion, Device, DeviceStats, PageId};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Physical cost parameters of the simulated disk, in nanoseconds.
 ///
@@ -131,17 +148,213 @@ pub enum QueuePolicy {
     Elevator,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Pending {
     page: PageId,
     submitted_at_ns: u64,
     seq: u64,
 }
 
+/// The reordering command queue: an incrementally maintained index over the
+/// pending set.
+///
+/// Only the oldest `limit` submissions are *visible* to the reordering
+/// logic, like a bounded hardware queue (NCQ/TCQ window). The visible
+/// window is kept in two synchronized views plus an overflow list:
+///
+/// * `window` — `BTreeMap<(PageId, seq), submitted_at_ns>`: a position
+///   index. SSTF and Elevator picks are two-sided range scans from the
+///   current head position: O(log w).
+/// * `window_fifo` — the same window in submission order; the FIFO pick is
+///   an amortized O(1) front peek. Commands served out of the middle are
+///   marked in `served_out_of_order` and lazily dropped when they surface.
+/// * `backlog` — submissions beyond the window, in submission order;
+///   promoted front-first as serves free window slots.
+///
+/// Every operation is allocation-free after the containers warm up;
+/// nothing is re-sorted, ever.
+#[derive(Debug, Default)]
+struct CommandQueue {
+    window: BTreeMap<(PageId, u64), u64>,
+    window_fifo: VecDeque<(u64, PageId)>,
+    served_out_of_order: HashSet<u64>,
+    backlog: VecDeque<Pending>,
+    /// Visible-window capacity (`usize::MAX` = unbounded).
+    limit: usize,
+}
+
+impl CommandQueue {
+    fn new(queue_depth: usize) -> Self {
+        Self {
+            limit: if queue_depth == 0 {
+                usize::MAX
+            } else {
+                queue_depth
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Total pending commands (visible + backlog).
+    fn len(&self) -> usize {
+        self.window.len() + self.backlog.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.window.is_empty() && self.backlog.is_empty()
+    }
+
+    /// Number of commands visible to the reordering/positioning logic —
+    /// the single source of truth for the queue-depth window (used by the
+    /// pick, by serve-time cost accounting, and by the stats).
+    fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    fn push(&mut self, p: Pending) {
+        // Invariant: a non-empty backlog implies a full window, so a new
+        // submission (which has the largest seq) is visible iff a slot is
+        // free.
+        if self.window.len() < self.limit {
+            self.window.insert((p.page, p.seq), p.submitted_at_ns);
+            self.window_fifo.push_back((p.seq, p.page));
+        } else {
+            self.backlog.push_back(p);
+        }
+    }
+
+    /// Removes a previously picked command and promotes the backlog front
+    /// into the freed window slot.
+    fn remove(&mut self, req: Pending) {
+        if self.window.remove(&(req.page, req.seq)).is_some() {
+            self.served_out_of_order.insert(req.seq);
+            while self.window.len() < self.limit {
+                let Some(p) = self.backlog.pop_front() else {
+                    break;
+                };
+                self.window.insert((p.page, p.seq), p.submitted_at_ns);
+                self.window_fifo.push_back((p.seq, p.page));
+            }
+        } else {
+            // Degraded pick straight from an inconsistent backlog: drop it
+            // there (seq-ordered, so a binary search locates it).
+            let i = self.backlog.partition_point(|p| p.seq < req.seq);
+            if self.backlog.get(i).is_some_and(|p| p.seq == req.seq) {
+                self.backlog.remove(i);
+            }
+        }
+    }
+
+    /// Oldest visible command (FIFO head), amortized O(1).
+    fn fifo_front(&mut self) -> Option<Pending> {
+        while let Some(&(seq, page)) = self.window_fifo.front() {
+            if self.served_out_of_order.remove(&seq) {
+                self.window_fifo.pop_front();
+                continue;
+            }
+            let submitted_at_ns = *self.window.get(&(page, seq))?;
+            return Some(Pending {
+                page,
+                submitted_at_ns,
+                seq,
+            });
+        }
+        None
+    }
+
+    /// Oldest visible command for `page`, O(log w).
+    fn first_of_page(&self, page: PageId) -> Option<Pending> {
+        self.window.range((page, 0)..=(page, u64::MAX)).next().map(
+            |(&(p, seq), &submitted_at_ns)| Pending {
+                page: p,
+                submitted_at_ns,
+                seq,
+            },
+        )
+    }
+
+    /// Shortest-seek pick: nearest visible page to `head`, ties broken
+    /// toward the smaller page, then the oldest submission for that page —
+    /// exactly the reference oracle's `(distance, page)` ordering.
+    fn sstf_pick(&self, head: PageId) -> Option<Pending> {
+        let up = self
+            .window
+            .range((head, 0)..)
+            .next()
+            .map(|(&(p, seq), &at)| (p, seq, at));
+        let down = self
+            .window
+            .range(..(head, 0))
+            .next_back()
+            .map(|(&(p, _), _)| p)
+            .and_then(|p| self.first_of_page(p));
+        match (up, down) {
+            (Some((p, seq, at)), None) => Some(Pending {
+                page: p,
+                submitted_at_ns: at,
+                seq,
+            }),
+            (None, Some(d)) => Some(d),
+            (Some((p, seq, at)), Some(d)) => {
+                // d.page < head <= p, so on a distance tie the smaller
+                // page (down) wins.
+                if p.abs_diff(head) < d.page.abs_diff(head) {
+                    Some(Pending {
+                        page: p,
+                        submitted_at_ns: at,
+                        seq,
+                    })
+                } else {
+                    Some(d)
+                }
+            }
+            (None, None) => None,
+        }
+    }
+
+    /// Elevator pick: nearest visible page at or beyond `head` in the sweep
+    /// direction; reverses when the sweep direction is exhausted.
+    fn elevator_pick(&self, head: PageId, sweep_up: bool) -> Option<Pending> {
+        let in_dir = |up: bool| -> Option<Pending> {
+            if up {
+                self.window
+                    .range((head, 0)..)
+                    .next()
+                    .map(|(&(p, seq), &at)| Pending {
+                        page: p,
+                        submitted_at_ns: at,
+                        seq,
+                    })
+            } else {
+                self.window
+                    .range(..=(head, u64::MAX))
+                    .next_back()
+                    .map(|(&(p, _), _)| p)
+                    .and_then(|p| self.first_of_page(p))
+            }
+        };
+        in_dir(sweep_up).or_else(|| in_dir(!sweep_up))
+    }
+
+    /// Picks (without removing) the next command to serve under `policy`.
+    /// A window inconsistency never panics: the pick degrades to the FIFO
+    /// head, and as a last resort to the backlog front.
+    fn pick(&mut self, policy: QueuePolicy, head: PageId, sweep_up: bool) -> Option<Pending> {
+        let choice = match policy {
+            QueuePolicy::Fifo => self.fifo_front(),
+            QueuePolicy::ShortestSeekFirst => self.sstf_pick(head).or_else(|| self.fifo_front()),
+            QueuePolicy::Elevator => self
+                .elevator_pick(head, sweep_up)
+                .or_else(|| self.fifo_front()),
+        };
+        choice.or_else(|| self.backlog.front().copied())
+    }
+}
+
 /// The simulated disk. Holds page contents in memory; all latency is
 /// simulated on the shared [`SimClock`].
 pub struct SimDisk {
-    pages: Vec<Vec<u8>>,
+    pages: Vec<Arc<[u8]>>,
     page_size: usize,
     profile: DiskProfile,
     policy: QueuePolicy,
@@ -151,8 +364,8 @@ pub struct SimDisk {
     sweep_up: bool,
     /// Simulated time until which the device is busy.
     busy_until_ns: u64,
-    pending: Vec<Pending>,
-    completed: std::collections::VecDeque<Completion>,
+    queue: CommandQueue,
+    completed: VecDeque<Completion>,
     next_seq: u64,
     stats: DeviceStats,
     trace: Option<Vec<PageId>>,
@@ -174,8 +387,8 @@ impl SimDisk {
             head: 0,
             sweep_up: true,
             busy_until_ns: 0,
-            pending: Vec::new(),
-            completed: std::collections::VecDeque::new(),
+            queue: CommandQueue::new(profile.queue_depth),
+            completed: VecDeque::new(),
             next_seq: 0,
             stats: DeviceStats::default(),
             trace: None,
@@ -201,7 +414,7 @@ impl SimDisk {
     /// start benchmark runs from a known physical state.
     pub fn park_head(&mut self) {
         assert!(
-            self.pending.is_empty() && self.completed.is_empty(),
+            self.queue.is_empty() && self.completed.is_empty(),
             "cannot park the head with requests in flight"
         );
         self.head = 0;
@@ -209,68 +422,31 @@ impl SimDisk {
         self.busy_until_ns = 0;
     }
 
-    /// Picks the index in `pending` of the next request to serve.
-    fn pick_next(&self) -> Option<usize> {
-        if self.pending.is_empty() {
-            return None;
+    /// The page image, by reference count — never by copy.
+    fn page_bytes(&self, page: PageId) -> Arc<[u8]> {
+        match self.pages.get(page as usize) {
+            Some(b) => Arc::clone(b),
+            // Out-of-range reads are rejected by the submit/read asserts;
+            // an inconsistent index degrades to a zeroed page.
+            None => Arc::from(vec![0u8; self.page_size]),
         }
-        let window = if self.profile.queue_depth == 0 {
-            self.pending.len()
-        } else {
-            self.profile.queue_depth.min(self.pending.len())
-        };
-        // Only the first `window` submissions (by sequence) are visible to
-        // the reordering logic, like a bounded hardware queue.
-        let mut idx: Vec<usize> = (0..self.pending.len()).collect();
-        idx.sort_by_key(|&i| self.pending[i].seq);
-        idx.truncate(window);
-        let choice = match self.policy {
-            QueuePolicy::Fifo => idx[0],
-            QueuePolicy::ShortestSeekFirst => *idx
-                .iter()
-                .min_by_key(|&&i| {
-                    let p = self.pending[i].page;
-                    (p.abs_diff(self.head), p)
-                })
-                .expect("window is non-empty"),
-            QueuePolicy::Elevator => {
-                let ahead = |up: bool, i: usize| {
-                    let p = self.pending[i].page;
-                    if up {
-                        p >= self.head
-                    } else {
-                        p <= self.head
-                    }
-                };
-                let best_in_dir = |up: bool| {
-                    idx.iter()
-                        .copied()
-                        .filter(|&i| ahead(up, i))
-                        .min_by_key(|&i| self.pending[i].page.abs_diff(self.head))
-                };
-                match best_in_dir(self.sweep_up) {
-                    Some(i) => i,
-                    None => best_in_dir(!self.sweep_up).expect("window is non-empty"),
-                }
-            }
-        };
-        Some(choice)
     }
 
     /// Number of pending commands visible to the reordering/positioning
     /// logic (bounded by the configured queue depth).
-    fn visible_queue(&self) -> usize {
-        if self.profile.queue_depth == 0 {
-            self.pending.len()
-        } else {
-            self.profile.queue_depth.min(self.pending.len())
-        }
+    fn window(&self) -> usize {
+        self.queue.window_len()
     }
 
-    /// Serves `pending[i]`, producing a completion.
-    fn serve(&mut self, i: usize) -> Completion {
-        let queued = self.visible_queue().saturating_sub(1);
-        let req = self.pending.swap_remove(i);
+    /// Picks the next request to serve (without removing it).
+    fn pick_next(&mut self) -> Option<Pending> {
+        self.queue.pick(self.policy, self.head, self.sweep_up)
+    }
+
+    /// Serves `req`, producing a completion.
+    fn serve(&mut self, req: Pending) -> Completion {
+        let queued = self.window().saturating_sub(1);
+        self.queue.remove(req);
         let start = self.busy_until_ns.max(req.submitted_at_ns);
         let cost = self
             .profile
@@ -286,7 +462,7 @@ impl SimDisk {
         self.busy_until_ns = finished;
         Completion {
             page: req.page,
-            bytes: self.pages[req.page as usize].clone(),
+            bytes: self.page_bytes(req.page),
             finished_at_ns: finished,
         }
     }
@@ -308,17 +484,16 @@ impl SimDisk {
     /// Lets the device work in the background up to simulated time `now`:
     /// serves queued requests whose completion fits before `now`.
     fn advance(&mut self, now_ns: u64) {
-        while let Some(i) = self.pick_next() {
-            let req = self.pending[i];
+        while let Some(req) = self.pick_next() {
             let start = self.busy_until_ns.max(req.submitted_at_ns);
-            let queued = self.visible_queue().saturating_sub(1);
+            let queued = self.window().saturating_sub(1);
             let cost = self
                 .profile
                 .access_cost_queued_ns(self.head, req.page, queued);
             if start + cost > now_ns {
                 break;
             }
-            let c = self.serve(i);
+            let c = self.serve(req);
             self.completed.push_back(c);
         }
     }
@@ -338,7 +513,7 @@ impl Device for SimDisk {
         self.page_size
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Vec<u8> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
         assert!(
             (page as usize) < self.pages.len(),
             "page {page} out of range"
@@ -351,7 +526,7 @@ impl Device for SimDisk {
         self.head = page + 1;
         self.busy_until_ns = start + cost;
         clock.wait_until(start + cost);
-        self.pages[page as usize].clone()
+        self.page_bytes(page)
     }
 
     fn submit(&mut self, page: PageId, clock: &SimClock) {
@@ -360,7 +535,7 @@ impl Device for SimDisk {
             "page {page} out of range"
         );
         self.advance(clock.now_ns());
-        self.pending.push(Pending {
+        self.queue.push(Pending {
             page,
             submitted_at_ns: clock.now_ns(),
             seq: self.next_seq,
@@ -376,17 +551,17 @@ impl Device for SimDisk {
             clock.wait_until(c.finished_at_ns);
             return Some(c);
         }
-        if !block || self.pending.is_empty() {
+        if !block {
             return None;
         }
-        let i = self.pick_next().expect("pending is non-empty");
-        let c = self.serve(i);
+        let req = self.pick_next()?;
+        let c = self.serve(req);
         clock.wait_until(c.finished_at_ns);
         Some(c)
     }
 
     fn in_flight(&self) -> usize {
-        self.pending.len() + self.completed.len()
+        self.queue.len() + self.completed.len()
     }
 
     fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
@@ -399,7 +574,7 @@ impl Device for SimDisk {
         let id = self.pages.len() as PageId;
         let mut b = bytes;
         b.resize(self.page_size, 0);
-        self.pages.push(b);
+        self.pages.push(Arc::from(b));
         id
     }
 
@@ -411,7 +586,9 @@ impl Device for SimDisk {
         assert!(bytes.len() <= self.page_size);
         let mut b = bytes;
         b.resize(self.page_size, 0);
-        self.pages[page as usize] = b;
+        if let Some(slot) = self.pages.get_mut(page as usize) {
+            *slot = Arc::from(b);
+        }
     }
 
     fn stats(&self) -> DeviceStats {
@@ -434,6 +611,235 @@ impl Device for SimDisk {
             self.trace.get_or_insert_with(Vec::new);
         } else {
             self.trace = None;
+        }
+    }
+}
+
+/// The original queue implementation, retained verbatim as the oracle for
+/// the equivalence property tests below: `pick_next` allocates and sorts
+/// the whole pending set on every serve (O(n log n) per pick), which is
+/// what the indexed [`CommandQueue`] replaces. Served order and simulated
+/// times must be bit-identical between the two.
+#[cfg(test)]
+mod reference {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::{DiskProfile, Pending, QueuePolicy};
+    use crate::clock::SimClock;
+    use crate::device::{Completion, Device, DeviceStats, PageId};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    pub struct ReferenceDisk {
+        pages: Vec<Arc<[u8]>>,
+        page_size: usize,
+        profile: DiskProfile,
+        policy: QueuePolicy,
+        head: PageId,
+        sweep_up: bool,
+        busy_until_ns: u64,
+        pending: Vec<Pending>,
+        completed: VecDeque<Completion>,
+        next_seq: u64,
+        stats: DeviceStats,
+    }
+
+    impl ReferenceDisk {
+        pub fn with_profile(page_size: usize, profile: DiskProfile) -> Self {
+            Self {
+                pages: Vec::new(),
+                page_size,
+                profile,
+                policy: QueuePolicy::default(),
+                head: 0,
+                sweep_up: true,
+                busy_until_ns: 0,
+                pending: Vec::new(),
+                completed: VecDeque::new(),
+                next_seq: 0,
+                stats: DeviceStats::default(),
+            }
+        }
+
+        pub fn set_policy(&mut self, policy: QueuePolicy) {
+            self.policy = policy;
+        }
+
+        /// The original pick: allocate an index Vec, sort it by submission
+        /// sequence, truncate to the visible window, then scan linearly.
+        fn pick_next(&self) -> Option<usize> {
+            if self.pending.is_empty() {
+                return None;
+            }
+            let window = if self.profile.queue_depth == 0 {
+                self.pending.len()
+            } else {
+                self.profile.queue_depth.min(self.pending.len())
+            };
+            let mut idx: Vec<usize> = (0..self.pending.len()).collect();
+            idx.sort_by_key(|&i| self.pending[i].seq);
+            idx.truncate(window);
+            let choice = match self.policy {
+                QueuePolicy::Fifo => idx[0],
+                QueuePolicy::ShortestSeekFirst => *idx
+                    .iter()
+                    .min_by_key(|&&i| {
+                        let p = self.pending[i].page;
+                        (p.abs_diff(self.head), p)
+                    })
+                    .expect("window is non-empty"),
+                QueuePolicy::Elevator => {
+                    let ahead = |up: bool, i: usize| {
+                        let p = self.pending[i].page;
+                        if up {
+                            p >= self.head
+                        } else {
+                            p <= self.head
+                        }
+                    };
+                    let best_in_dir = |up: bool| {
+                        idx.iter()
+                            .copied()
+                            .filter(|&i| ahead(up, i))
+                            .min_by_key(|&i| self.pending[i].page.abs_diff(self.head))
+                    };
+                    match best_in_dir(self.sweep_up) {
+                        Some(i) => i,
+                        None => best_in_dir(!self.sweep_up).expect("window is non-empty"),
+                    }
+                }
+            };
+            Some(choice)
+        }
+
+        fn visible_queue(&self) -> usize {
+            if self.profile.queue_depth == 0 {
+                self.pending.len()
+            } else {
+                self.profile.queue_depth.min(self.pending.len())
+            }
+        }
+
+        fn serve(&mut self, i: usize) -> Completion {
+            let queued = self.visible_queue().saturating_sub(1);
+            let req = self.pending.swap_remove(i);
+            let start = self.busy_until_ns.max(req.submitted_at_ns);
+            let cost = self
+                .profile
+                .access_cost_queued_ns(self.head, req.page, queued);
+            let finished = start + cost;
+            self.account_read(req.page, cost);
+            if let QueuePolicy::Elevator = self.policy {
+                if req.page != self.head {
+                    self.sweep_up = req.page > self.head;
+                }
+            }
+            self.head = req.page + 1;
+            self.busy_until_ns = finished;
+            Completion {
+                page: req.page,
+                bytes: Arc::clone(&self.pages[req.page as usize]),
+                finished_at_ns: finished,
+            }
+        }
+
+        fn account_read(&mut self, page: PageId, cost: u64) {
+            self.stats.reads += 1;
+            if page == self.head {
+                self.stats.sequential_reads += 1;
+            } else {
+                self.stats.random_reads += 1;
+                self.stats.seek_distance_pages += page.abs_diff(self.head) as u64;
+            }
+            self.stats.busy_ns += cost;
+        }
+
+        fn advance(&mut self, now_ns: u64) {
+            while let Some(i) = self.pick_next() {
+                let req = self.pending[i];
+                let start = self.busy_until_ns.max(req.submitted_at_ns);
+                let queued = self.visible_queue().saturating_sub(1);
+                let cost = self
+                    .profile
+                    .access_cost_queued_ns(self.head, req.page, queued);
+                if start + cost > now_ns {
+                    break;
+                }
+                let c = self.serve(i);
+                self.completed.push_back(c);
+            }
+        }
+    }
+
+    impl Device for ReferenceDisk {
+        fn num_pages(&self) -> u32 {
+            self.pages.len() as u32
+        }
+
+        fn page_size(&self) -> usize {
+            self.page_size
+        }
+
+        fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+            self.advance(clock.now_ns());
+            let start = self.busy_until_ns.max(clock.now_ns());
+            let cost = self.profile.access_cost_ns(self.head, page);
+            self.account_read(page, cost);
+            self.head = page + 1;
+            self.busy_until_ns = start + cost;
+            clock.wait_until(start + cost);
+            Arc::clone(&self.pages[page as usize])
+        }
+
+        fn submit(&mut self, page: PageId, clock: &SimClock) {
+            self.advance(clock.now_ns());
+            self.pending.push(Pending {
+                page,
+                submitted_at_ns: clock.now_ns(),
+                seq: self.next_seq,
+            });
+            self.next_seq += 1;
+        }
+
+        fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion> {
+            self.advance(clock.now_ns());
+            if let Some(c) = self.completed.pop_front() {
+                clock.wait_until(c.finished_at_ns);
+                return Some(c);
+            }
+            if !block || self.pending.is_empty() {
+                return None;
+            }
+            let i = self.pick_next().expect("pending is non-empty");
+            let c = self.serve(i);
+            clock.wait_until(c.finished_at_ns);
+            Some(c)
+        }
+
+        fn in_flight(&self) -> usize {
+            self.pending.len() + self.completed.len()
+        }
+
+        fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
+            let id = self.pages.len() as PageId;
+            let mut b = bytes;
+            b.resize(self.page_size, 0);
+            self.pages.push(Arc::from(b));
+            id
+        }
+
+        fn write_page(&mut self, page: PageId, bytes: Vec<u8>) {
+            let mut b = bytes;
+            b.resize(self.page_size, 0);
+            self.pages[page as usize] = Arc::from(b);
+        }
+
+        fn stats(&self) -> DeviceStats {
+            self.stats
+        }
+
+        fn reset_stats(&mut self) {
+            self.stats = DeviceStats::default();
         }
     }
 }
@@ -646,6 +1052,20 @@ mod tests {
             std::iter::from_fn(|| d.poll(&clock, true).map(|c| c.page)).collect();
         assert_eq!(order, vec![100, 300, 500, 900]);
     }
+
+    #[test]
+    fn serving_a_read_copies_no_page_bytes() {
+        // The completion's bytes are the device's own Arc, not a copy.
+        let mut d = disk_with_pages(4);
+        let clock = SimClock::new();
+        d.submit(2, &clock);
+        let c = d.poll(&clock, true).expect("served");
+        let again = d.read_sync(2, &clock);
+        assert!(
+            Arc::ptr_eq(&c.bytes, &again),
+            "both reads must share the device's page allocation"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -697,5 +1117,163 @@ mod queued_cost_tests {
             cb.now_ns(),
             cs.now_ns()
         );
+    }
+}
+
+/// Equivalence of the indexed command queue and the retained reference
+/// oracle: identical serve order, identical simulated nanoseconds,
+/// identical statistics — for every policy, under random interleavings of
+/// submissions, blocking/non-blocking polls, synchronous reads and CPU
+/// work (ISSUE 2 acceptance criterion; lint rule R2's determinism
+/// contract depends on this).
+#[cfg(test)]
+mod equivalence_proptests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::reference::ReferenceDisk;
+    use super::*;
+    use proptest::prelude::*;
+
+    const NUM_PAGES: u32 = 400;
+
+    /// One step of the co-simulation script.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Submit(PageId),
+        PollBlocking,
+        PollNonBlocking,
+        ReadSync(PageId),
+        ChargeCpu(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..NUM_PAGES).prop_map(Op::Submit),
+            Just(Op::PollBlocking),
+            Just(Op::PollNonBlocking),
+            (0u32..NUM_PAGES).prop_map(Op::ReadSync),
+            (0u64..20_000_000).prop_map(Op::ChargeCpu),
+        ]
+    }
+
+    fn policies() -> [QueuePolicy; 3] {
+        [
+            QueuePolicy::Fifo,
+            QueuePolicy::ShortestSeekFirst,
+            QueuePolicy::Elevator,
+        ]
+    }
+
+    /// Runs `ops` against one device, returning the observable history.
+    fn run(dev: &mut dyn Device, ops: &[Op]) -> (Vec<(PageId, u64)>, u64, DeviceStats) {
+        let clock = SimClock::new();
+        let mut events = Vec::new();
+        for &op in ops {
+            match op {
+                Op::Submit(p) => dev.submit(p, &clock),
+                Op::PollBlocking => {
+                    if let Some(c) = dev.poll(&clock, true) {
+                        events.push((c.page, c.finished_at_ns));
+                    }
+                }
+                Op::PollNonBlocking => {
+                    if let Some(c) = dev.poll(&clock, false) {
+                        events.push((c.page, c.finished_at_ns));
+                    }
+                }
+                Op::ReadSync(p) => {
+                    let _ = dev.read_sync(p, &clock);
+                    events.push((p, clock.now_ns()));
+                }
+                Op::ChargeCpu(ns) => clock.charge_cpu(ns),
+            }
+        }
+        // Drain whatever is still in flight.
+        while let Some(c) = dev.poll(&clock, true) {
+            events.push((c.page, c.finished_at_ns));
+        }
+        (events, clock.now_ns(), dev.stats())
+    }
+
+    fn assert_equivalent(profile: DiskProfile, ops: &[Op]) {
+        for policy in policies() {
+            let mut indexed = SimDisk::with_profile(64, profile);
+            let mut oracle = ReferenceDisk::with_profile(64, profile);
+            for i in 0..NUM_PAGES {
+                indexed.append_page(vec![i as u8]);
+                oracle.append_page(vec![i as u8]);
+            }
+            indexed.set_policy(policy);
+            oracle.set_policy(policy);
+            let (ev_new, now_new, st_new) = run(&mut indexed, ops);
+            let (ev_old, now_old, st_old) = run(&mut oracle, ops);
+            assert_eq!(
+                ev_new, ev_old,
+                "serve order / completion times diverged under {policy:?}"
+            );
+            assert_eq!(
+                now_new, now_old,
+                "simulated clock diverged under {policy:?}"
+            );
+            assert_eq!(st_new, st_old, "device stats diverged under {policy:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 400, ..ProptestConfig::default() })]
+
+        /// 400 cases × 3 policies = 1200 random interleavings against the
+        /// oracle, unbounded window.
+        #[test]
+        fn indexed_queue_matches_oracle_unbounded(
+            ops in prop::collection::vec(op_strategy(), 1..80),
+        ) {
+            assert_equivalent(DiskProfile::default(), &ops);
+        }
+
+        /// Same, with a small bounded window so backlog promotion and the
+        /// window boundary are exercised.
+        #[test]
+        fn indexed_queue_matches_oracle_bounded_window(
+            ops in prop::collection::vec(op_strategy(), 1..80),
+            depth in 1usize..6,
+        ) {
+            let profile = DiskProfile { queue_depth: depth, ..DiskProfile::default() };
+            assert_equivalent(profile, &ops);
+        }
+    }
+
+    /// 4k pending commands drained under every policy. Under the old
+    /// O(n² log n) pick path this sits in sort-and-alloc for tens of
+    /// seconds in debug builds; the indexed queue drains it instantly.
+    #[test]
+    fn large_queue_stress_4k_pending() {
+        for policy in policies() {
+            let mut d = SimDisk::new(64);
+            for _ in 0..4096u32 {
+                d.append_page(vec![0]);
+            }
+            d.set_policy(policy);
+            let clock = SimClock::new();
+            // A seeded LCG permutation-ish scatter over the platter.
+            let mut x = 0x2545F4914F6CDD1Du64;
+            for _ in 0..4096 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                d.submit((x >> 33) as u32 % 4096, &clock);
+            }
+            assert_eq!(d.in_flight(), 4096);
+            let mut served = 0u32;
+            let mut last_finish = 0u64;
+            while let Some(c) = d.poll(&clock, true) {
+                assert!(c.finished_at_ns >= last_finish, "completions out of order");
+                last_finish = c.finished_at_ns;
+                served += 1;
+            }
+            assert_eq!(served, 4096);
+            assert_eq!(d.in_flight(), 0);
+            assert_eq!(d.stats().reads, 4096);
+        }
     }
 }

@@ -16,6 +16,7 @@ use crate::clock::SimClock;
 use crate::device::{Completion, Device, DeviceStats, PageId};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Log sequence number.
 pub type Lsn = u64;
@@ -100,8 +101,9 @@ pub fn recover(device: &mut dyn Device, wal: &WriteAheadLog) -> usize {
 }
 
 struct SnapshotInner {
-    /// Baseline page images at snapshot time.
-    baseline: Option<Vec<Vec<u8>>>,
+    /// Baseline page images at snapshot time (shared with the device's own
+    /// page store on simulated backends — taking a snapshot copies nothing).
+    baseline: Option<Vec<Arc<[u8]>>>,
     crash_requested: bool,
 }
 
@@ -170,7 +172,7 @@ impl<D: Device> SnapshotDevice<D> {
             drop(inner);
             // Restore: truncate/extend to the snapshot and rewrite images.
             for (p, image) in baseline.iter().enumerate() {
-                self.device.write_page(p as PageId, image.clone());
+                self.device.write_page(p as PageId, image.to_vec());
             }
             // Pages appended after the snapshot keep existing but are
             // zeroed (a real file would be truncated; empty slotted pages
@@ -191,7 +193,7 @@ impl<D: Device> Device for SnapshotDevice<D> {
         self.device.page_size()
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Vec<u8> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
         self.service_control();
         self.device.read_sync(page, clock)
     }
