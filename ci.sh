@@ -7,12 +7,16 @@
 #   1. cargo fmt --check      — formatting is canonical
 #   2. cargo build --release  — the workspace compiles with optimizations
 #   3. cargo test -q          — the tier-1 test suite
-#   4. pathix-lint check      — the R1-R4 architectural invariants
-#      (I/O confinement, determinism, panic-freedom, layering; see
-#      DESIGN.md "Statically enforced invariants")
+#   4. pathix-lint check      — the R1-R5 architectural invariants
+#      (I/O confinement, determinism, panic-freedom, layering,
+#      concurrency confinement; see DESIGN.md "Statically enforced
+#      invariants")
 #   5. cargo bench --no-run   — criterion benches stay compiling
 #   6. report throughput --fast — throughput smoke (instant disk profile,
 #      small document; does not overwrite BENCH_PR2.json)
+#   7. report scaling --fast  — parallel batch smoke (2 workers, instant
+#      profile; cross-checks parallel == sequential and zero page copies;
+#      does not overwrite BENCH_PR3.json)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -33,5 +37,8 @@ cargo bench --no-run --workspace
 
 echo "==> throughput smoke (fast mode)"
 cargo run -q --release -p pathix-bench --bin report -- throughput --fast
+
+echo "==> parallel batch smoke (fast mode)"
+cargo run -q --release -p pathix-bench --bin report -- scaling --fast
 
 echo "ci: all gates passed"

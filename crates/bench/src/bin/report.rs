@@ -8,6 +8,9 @@
 //!              throughput   (not part of `all`; writes BENCH_PR2.json —
 //!                            with --fast: small doc, instant disk profile,
 //!                            no artifact written)
+//!              scaling      (not part of `all`; writes BENCH_PR3.json —
+//!                            with --fast: 2 workers, small doc, instant
+//!                            disk profile, no artifact written)
 //! ```
 
 // Stdout is this binary's output channel.
@@ -179,6 +182,76 @@ fn throughput_report(fast: bool) {
         let json = emit_json(scale, &micro, &engine);
         std::fs::write("BENCH_PR2.json", json).expect("write BENCH_PR2.json");
         println!("wrote BENCH_PR2.json");
+    }
+}
+
+fn scaling_report(fast: bool) {
+    let (workers, scale): (&[usize], f64) = if fast {
+        (&[1, 2], 0.02)
+    } else {
+        (&pathix_bench::scaling::WORKER_COUNTS[..], 0.1)
+    };
+    println!("== Scaling: parallel batch over a shared page cache (wall clock) ==");
+    println!(
+        "   batch: Q6'/Q7/Q15-style paths x Simple/XSchedule/XScan{}",
+        if fast {
+            " (fast: instant disk profile, no latency pacing)"
+        } else {
+            ""
+        }
+    );
+    let rows = pathix_bench::scaling::scaling_sweep(scale, workers, fast);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                r.items.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.2}", r.items_per_s),
+                format!("{:.2}x", r.speedup),
+                r.identical.to_string(),
+                r.page_copies.to_string(),
+                r.device_reads.to_string(),
+                r.cache.hits.to_string(),
+                r.cache.misses.to_string(),
+                r.cache.single_flight_waits.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "workers",
+                "items",
+                "wall[ms]",
+                "items/s",
+                "speedup",
+                "identical",
+                "page copies",
+                "dev reads",
+                "cache hits",
+                "cache misses",
+                "sf waits"
+            ],
+            &table_rows
+        )
+    );
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "parallel results diverged from sequential execution"
+    );
+    assert!(
+        rows.iter().all(|r| r.page_copies == 0),
+        "shared-cache read path copied pages"
+    );
+    if fast {
+        println!("(fast mode: BENCH_PR3.json not written)");
+    } else {
+        let json = pathix_bench::scaling::emit_json(scale, &rows);
+        std::fs::write("BENCH_PR3.json", json).expect("write BENCH_PR3.json");
+        println!("wrote BENCH_PR3.json");
     }
 }
 
@@ -393,5 +466,9 @@ fn main() {
     // Not part of `all`: measures the substrate, not the paper's figures.
     if wanted.iter().any(|w| w == "throughput") {
         throughput_report(fast);
+    }
+    // Not part of `all`: wall-clock thread scaling of the batch executor.
+    if wanted.iter().any(|w| w == "scaling") {
+        scaling_report(fast);
     }
 }

@@ -14,6 +14,7 @@
 //! experiment functions.
 
 pub mod experiments;
+pub mod scaling;
 pub mod table;
 pub mod throughput;
 

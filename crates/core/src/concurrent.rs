@@ -27,6 +27,11 @@ pub struct ConcurrentRun {
     pub nodes: Vec<(NodeId, u64)>,
     /// The plan's method label.
     pub method: String,
+    /// This plan's own share of the batch cost: clock/buffer/device deltas
+    /// accumulated around its `next()` turns plus its private algebra
+    /// counters. Summing the per-plan reports reproduces the combined
+    /// batch report's I/O and time totals.
+    pub report: ExecReport,
 }
 
 /// Runs all `(path, method)` pairs concurrently (interleaved on the shared
@@ -49,6 +54,8 @@ pub fn execute_interleaved(
         nodes: Vec<(NodeId, u64)>,
         method: Method,
         done: bool,
+        /// Accumulated clock/buffer/device deltas attributed to this plan.
+        acc: ExecReport,
     }
 
     let mut slots: Vec<Slot<'_>> = work
@@ -67,6 +74,7 @@ pub fn execute_interleaved(
                 nodes: Vec::new(),
                 method: *method,
                 done: false,
+                acc: ExecReport::default(),
             }
         })
         .collect();
@@ -79,6 +87,11 @@ pub fn execute_interleaved(
             if slot.done {
                 continue;
             }
+            // Bracket this plan's turn so its share of clock/buffer/device
+            // activity can be attributed to it (satellite: per-plan report).
+            let t0 = store.clock().breakdown();
+            let b0 = store.buffer.stats();
+            let d0 = store.buffer.device_stats();
             match slot.plan.next(&slot.cx) {
                 Some(p) => {
                     progressed = true;
@@ -100,6 +113,12 @@ pub fn execute_interleaved(
                 }
                 None => slot.done = true,
             }
+            slot.acc.absorb(&ExecReport {
+                time: store.clock().breakdown().since(&t0),
+                buffer: buffer_delta(store.buffer.stats(), b0),
+                device: device_delta(store.buffer.device_stats(), d0),
+                ..Default::default()
+            });
         }
         if !progressed {
             break;
@@ -116,9 +135,23 @@ pub fn execute_interleaved(
         if cfg.sort {
             slot.nodes.sort_by_key(|&(_, o)| o);
         }
+        let mut report = slot.acc;
+        report.method = slot.method.label().to_owned();
+        report.nodes_visited = slot.cx.nav_counters.nodes_visited.get();
+        report.node_tests = slot.cx.nav_counters.node_tests.get();
+        report.borders = slot.cx.nav_counters.borders.get();
+        report.instances = slot.cx.stats.instances.get();
+        report.results = slot.nodes.len() as u64;
+        report.r_inserts = slot.cx.stats.r_inserts.get();
+        report.s_inserts = slot.cx.stats.s_inserts.get();
+        report.s_peak = slot.cx.stats.s_peak.get();
+        report.q_pushes = slot.cx.stats.q_pushes.get();
+        report.speculative_generated = slot.cx.stats.speculative_generated.get();
+        report.fallback = slot.cx.stats.fallback_entered.get();
         runs.push(ConcurrentRun {
             nodes: slot.nodes,
             method: slot.method.label().to_owned(),
+            report,
         });
     }
     let report = ExecReport {
@@ -179,5 +212,32 @@ mod tests {
             .expect("plans execute");
         assert!(!runs[0].nodes.is_empty());
         assert!(!runs[1].nodes.is_empty());
+    }
+
+    #[test]
+    fn per_plan_reports_sum_to_combined() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 23 });
+        let work = vec![
+            (parse_path("//item").unwrap(), Method::Simple),
+            (parse_path("//email").unwrap(), Method::xschedule()),
+            (parse_path("//name").unwrap(), Method::XScan),
+        ];
+        let (runs, combined) = execute_interleaved(&store, &work, &PlanConfig::new(Method::Simple))
+            .expect("plans execute");
+        // Every read and every simulated nanosecond of the batch happens
+        // inside some plan's bracketed turn, so the per-plan deltas must
+        // sum exactly to the combined report.
+        let reads: u64 = runs.iter().map(|r| r.report.device.reads).sum();
+        let total_ns: u64 = runs.iter().map(|r| r.report.time.total_ns).sum();
+        let fixes: u64 = runs.iter().map(|r| r.report.buffer.fixes).sum();
+        assert_eq!(reads, combined.device.reads);
+        assert_eq!(total_ns, combined.time.total_ns);
+        assert_eq!(fixes, combined.buffer.fixes);
+        for run in &runs {
+            assert_eq!(run.report.results, run.nodes.len() as u64);
+            assert_eq!(run.report.method, run.method);
+            assert!(run.report.instances > 0, "{} did no work?", run.method);
+        }
     }
 }

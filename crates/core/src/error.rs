@@ -20,6 +20,12 @@ pub enum ExecError {
         /// Debug rendering of the offending right end.
         end: String,
     },
+    /// A parallel batch worker terminated without delivering the result for
+    /// a claimed work item (see [`crate::server`]).
+    WorkerLost {
+        /// Index of the orphaned work item.
+        item: usize,
+    },
 }
 
 impl ExecError {
@@ -37,6 +43,9 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::UnexpectedEnd { executor, end } => {
                 write!(f, "{executor}: unexpected plan output end: {end}")
+            }
+            ExecError::WorkerLost { item } => {
+                write!(f, "parallel batch: no worker delivered item {item}")
             }
         }
     }

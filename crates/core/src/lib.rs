@@ -28,6 +28,7 @@ pub mod ops;
 pub mod optimizer;
 pub mod plan;
 pub mod report;
+pub mod server;
 
 pub use concurrent::{execute_interleaved, ConcurrentRun};
 pub use context::{CostParams, ExecCtx, ExecStats};
@@ -37,3 +38,4 @@ pub use multi::{execute_paths_shared_scan, MultiPathRun};
 pub use optimizer::{Optimizer, PlanEstimate};
 pub use plan::{execute_path, execute_query, Method, PathRun, PlanConfig, QueryRun};
 pub use report::ExecReport;
+pub use server::{execute_batch_parallel, BatchRun, WorkerSeed};

@@ -1,0 +1,220 @@
+//! Parallel batch query execution: a worker pool over per-worker stores.
+//!
+//! The paper's outlook (§7) expects concurrent queries to "strongly benefit
+//! from asynchronous I/O" — [`crate::concurrent`] realizes that on one
+//! thread by interleaving plans over one device queue; this module adds the
+//! orthogonal axis: running *independent* `(path, method)` queries on
+//! multiple OS threads at once.
+//!
+//! The engine's operator hot path is deliberately single-threaded
+//! (`Rc`/`RefCell`/`Cell` throughout `ExecCtx`, `BufferManager`, and
+//! `SimClock`), and stays that way: **each worker owns a full private
+//! engine** — its own `TreeStore`, buffer manager, and simulated clock —
+//! opened over a private fork of the storage device
+//! ([`pathix_storage::Device::try_fork`]). Workers share *pages*, not
+//! state: stacking a [`pathix_storage::SharedCacheDevice`] over each fork
+//! makes a page physically read by one worker a refcount-bump hit for all
+//! others, with single-flight de-duplication of concurrent misses.
+//!
+//! Work distribution is dynamic: workers claim the next unclaimed batch
+//! item via an atomic cursor, so a worker stuck on an expensive query does
+//! not strand cheap ones behind it. Results are written into per-item
+//! slots, so the output order is the batch order regardless of which worker
+//! ran what — combined with result sets depending only on page *contents*
+//! (never on timing), a parallel batch returns bit-identical results to
+//! sequential one-at-a-time execution.
+//!
+//! Concurrency primitives (`std::thread`, `parking_lot`, atomics) are
+//! confined to this file by lint rule R5; the operators never see them.
+
+use crate::concurrent::ConcurrentRun;
+use crate::error::ExecError;
+use crate::plan::{execute_path_from, Method, PlanConfig};
+use crate::report::ExecReport;
+use parking_lot::Mutex;
+use pathix_storage::{BufferParams, Device, SimClock};
+use pathix_tree::{TreeMeta, TreeStore};
+use pathix_xpath::LocationPath;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything a worker needs to open its private engine: a `Send` device
+/// fork plus the (cheaply cloned) document metadata and buffer parameters.
+/// The `TreeStore` itself is built *inside* the worker thread — it is
+/// `Rc`-based and never crosses a thread boundary.
+pub struct WorkerSeed {
+    /// Private device for this worker (a [`Device::try_fork`] of the base
+    /// device, usually wrapped in a `SharedCacheDevice`).
+    pub device: Box<dyn Device + Send>,
+    /// Document metadata (root, symbols, page range).
+    pub meta: TreeMeta,
+    /// Buffer-manager configuration for the worker's private buffer.
+    pub params: BufferParams,
+}
+
+/// Result of a parallel batch.
+pub struct BatchRun {
+    /// One run per work item, in batch order (independent of which worker
+    /// executed it).
+    pub runs: Vec<ConcurrentRun>,
+    /// Sum of the per-item reports. `time` is aggregate simulated time
+    /// across all workers (simulated clocks run concurrently, so this is
+    /// total *work*, not elapsed time); wall-clock elapsed time is the
+    /// harness's concern, not the engine's (R2 determinism).
+    pub report: ExecReport,
+}
+
+/// Executes every `(path, method)` item of `work` across `seeds.len()`
+/// worker threads and returns per-item results in batch order.
+///
+/// Each result is produced by [`execute_path_from`] on the worker's private
+/// store, so per-item nodes and reports have exactly the same shape as
+/// sequential execution. Panics if `seeds` is empty (the caller chooses the
+/// worker count; zero workers cannot run a batch).
+pub fn execute_batch_parallel(
+    seeds: Vec<WorkerSeed>,
+    work: &[(LocationPath, Method)],
+    cfg: &PlanConfig,
+) -> Result<BatchRun, ExecError> {
+    assert!(!seeds.is_empty(), "a batch needs at least one worker");
+    let cfg = *cfg;
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<ConcurrentRun, ExecError>>>> =
+        Mutex::new((0..work.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for seed in seeds {
+            let next = &next;
+            let results = &results;
+            scope.spawn(move || {
+                // The whole single-threaded engine stack is private to this
+                // thread: fresh clock, fresh buffer, private device fork.
+                let store = TreeStore::open(
+                    seed.device,
+                    seed.meta,
+                    seed.params,
+                    Rc::new(SimClock::new()),
+                );
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((path, method)) = work.get(i) else {
+                        break;
+                    };
+                    let mut item_cfg = cfg;
+                    item_cfg.method = *method;
+                    let out = execute_path_from(&store, path, vec![store.meta.root], &item_cfg)
+                        .map(|run| ConcurrentRun {
+                            nodes: run.nodes,
+                            method: method.label().to_owned(),
+                            report: run.report,
+                        });
+                    if let Some(slot) = results.lock().get_mut(i) {
+                        *slot = Some(out);
+                    }
+                }
+            });
+        }
+    });
+
+    let mut runs = Vec::with_capacity(work.len());
+    for (i, slot) in results.into_inner().into_iter().enumerate() {
+        match slot {
+            Some(Ok(run)) => runs.push(run),
+            Some(Err(e)) => return Err(e),
+            None => return Err(ExecError::WorkerLost { item: i }),
+        }
+    }
+
+    let mut report = ExecReport {
+        method: "parallel".to_owned(),
+        ..Default::default()
+    };
+    for run in &runs {
+        report.absorb(&run.report);
+    }
+    Ok(BatchRun { runs, report })
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::ops::testutil::{mem_store, sample_doc};
+    use pathix_storage::{SharedCacheDevice, SharedPageCache};
+    use pathix_tree::Placement;
+    use pathix_xpath::parse_path;
+    use std::sync::Arc;
+
+    fn seeds_for(store: &TreeStore, workers: usize) -> Vec<WorkerSeed> {
+        let cache = Arc::new(SharedPageCache::new());
+        (0..workers)
+            .map(|_| {
+                let fork = store
+                    .buffer
+                    .device_mut()
+                    .try_fork()
+                    .expect("MemDevice forks");
+                WorkerSeed {
+                    device: Box::new(SharedCacheDevice::new(fork, Arc::clone(&cache))),
+                    meta: store.meta.clone(),
+                    params: store.buffer.params(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_batch_order() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 41 });
+        let work = vec![
+            (parse_path("//item").unwrap(), Method::Simple),
+            (parse_path("//email").unwrap(), Method::xschedule()),
+            (parse_path("//name").unwrap(), Method::XScan),
+            (parse_path("/regions//item").unwrap(), Method::xschedule()),
+        ];
+        let mut cfg = PlanConfig::new(Method::Simple);
+        cfg.sort = true;
+        let batch =
+            execute_batch_parallel(seeds_for(&store, 3), &work, &cfg).expect("batch executes");
+        assert_eq!(batch.runs.len(), work.len());
+        for (i, (path, method)) in work.iter().enumerate() {
+            let mut item_cfg = cfg;
+            item_cfg.method = *method;
+            let seq =
+                crate::plan::execute_path_from(&store, path, vec![store.meta.root], &item_cfg)
+                    .expect("sequential executes");
+            assert_eq!(batch.runs[i].nodes, seq.nodes, "item {i} diverged");
+            assert_eq!(batch.runs[i].method, method.label());
+        }
+        assert_eq!(
+            batch.report.results,
+            batch.runs.iter().map(|r| r.nodes.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Sequential);
+        let work = vec![(parse_path("//email").unwrap(), Method::XScan)];
+        let cfg = PlanConfig::new(Method::XScan);
+        let batch =
+            execute_batch_parallel(seeds_for(&store, 8), &work, &cfg).expect("batch executes");
+        assert_eq!(batch.runs.len(), 1);
+        assert!(!batch.runs[0].nodes.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Sequential);
+        let batch =
+            execute_batch_parallel(seeds_for(&store, 2), &[], &PlanConfig::new(Method::XScan))
+                .expect("empty batch executes");
+        assert!(batch.runs.is_empty());
+        assert_eq!(batch.report.results, 0);
+    }
+}

@@ -28,6 +28,11 @@
 //! - **R4 — layering.** Inter-crate references must point down the
 //!   layer stack, and `Pi` instances may only be built through the
 //!   checked constructors in `instance.rs`.
+//! - **R5 — concurrency confinement.** Threading primitives
+//!   (`std::thread`, `parking_lot`, channels, locks, atomics) appear
+//!   only in the storage layer, the batch-executor module
+//!   (`core/src/server.rs`), and the bench harness; the operator hot
+//!   path stays single-threaded (DESIGN §10).
 
 pub mod rules;
 pub mod tokenizer;

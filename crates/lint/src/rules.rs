@@ -1,4 +1,4 @@
-//! The rule engine: per-file checks R1–R4 over the token stream.
+//! The rule engine: per-file checks R1–R5 over the token stream.
 //!
 //! Paths are workspace-relative with `/` separators; rules decide their
 //! applicability purely from the path, so fixtures can exercise any rule
@@ -14,7 +14,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule identifier (`R1`…`R4`).
+    /// Rule identifier (`R1`…`R5`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -52,6 +52,27 @@ const IO_IDENTS: &[&str] = &[
     "SimDisk",
     "FileDevice",
 ];
+
+/// Identifiers that indicate threading primitives (R5). `Atomic`-prefixed
+/// identifiers (`AtomicU64`, `AtomicUsize`, …) are matched by prefix.
+const CONCURRENCY_IDENTS: &[&str] = &[
+    "thread",
+    "parking_lot",
+    "mpsc",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+];
+
+/// Files allowed to use threading primitives (R5): the storage layer
+/// (shared page cache, file device), the batch-executor module, and the
+/// bench harness. Everything else — the operator hot path above all —
+/// stays single-threaded (DESIGN §10).
+fn in_concurrency_zone(path: &str) -> bool {
+    path.starts_with("crates/storage/")
+        || path == "crates/core/src/server.rs"
+        || path.starts_with("crates/bench/")
+}
 
 /// Files whose non-test code must be panic-free (R3): the operator hot
 /// path, the buffer manager, and the navigation primitives.
@@ -142,6 +163,7 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let r2_map_applies = is_report_file(rel_path);
     let r3_applies = in_panic_free_zone(rel_path);
     let r4_pi_applies = rel_path != "crates/core/src/instance.rs";
+    let r5_applies = !in_concurrency_zone(rel_path);
     let own_crate = crate_of_path(rel_path);
 
     for (i, st) in toks.iter().enumerate() {
@@ -221,6 +243,22 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                         line: st.line,
                         rule: "R3",
                         message: format!("`{id}!` in the panic-free zone"),
+                    });
+                }
+                // R5: concurrency confinement.
+                if r5_applies
+                    && !is_test(i)
+                    && (CONCURRENCY_IDENTS.contains(&id.as_str()) || id.starts_with("Atomic"))
+                {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R5",
+                        message: format!(
+                            "threading primitive `{id}` outside the concurrency zone \
+                             (storage, core/src/server.rs, bench); the operator hot \
+                             path stays single-threaded"
+                        ),
                     });
                 }
                 // R4: Pi struct literals outside instance.rs. `-> Pi {`
@@ -400,6 +438,26 @@ mod tests {
         assert!(rules_of("crates/core/src/ops/xstep.rs", src).is_empty());
         // …but the same code in a tests/ directory is exempt too.
         assert!(rules_of("crates/core/src/ops/xstep.rs", "fn f() { x.unwrap(); }").contains(&"R3"));
+    }
+
+    #[test]
+    fn concurrency_confinement() {
+        let src = "use std::thread;\nfn f() { thread::spawn(|| {}); }";
+        // Operator hot path: flagged (twice: the use and the call).
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).contains(&"R5"));
+        // Atomics are matched by prefix.
+        assert_eq!(
+            rules_of(
+                "crates/xpath/src/parse.rs",
+                "use std::sync::atomic::AtomicU64;"
+            ),
+            vec!["R5"]
+        );
+        // The concurrency zone and tests are allowed.
+        assert!(rules_of("crates/storage/src/shared_cache.rs", src).is_empty());
+        assert!(rules_of("crates/core/src/server.rs", src).is_empty());
+        assert!(rules_of("crates/bench/src/scaling.rs", src).is_empty());
+        assert!(rules_of("crates/core/tests/t.rs", src).is_empty());
     }
 
     #[test]

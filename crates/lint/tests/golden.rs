@@ -1,4 +1,4 @@
-//! Golden fixtures: for every rule R1–R4, one snippet that must trip the
+//! Golden fixtures: for every rule R1–R5, one snippet that must trip the
 //! checker and one compliant twin that must pass — plus a self-check that
 //! the real workspace is clean.
 
@@ -213,6 +213,47 @@ fn r4_manifest_layering() {
 
     let good = "[package]\nname = \"pathix-core\"\n[dependencies]\npathix-tree.workspace = true\n";
     assert!(pathix_lint::workspace::check_manifest("crates/core/Cargo.toml", good).is_empty());
+}
+
+// ---------------------------------------------------------------- R5 ---
+
+#[test]
+fn r5_bad_threading_in_operator_hot_path() {
+    let src = r#"
+        use std::sync::mpsc;
+        use std::sync::atomic::AtomicUsize;
+        fn f() {
+            std::thread::spawn(|| {});
+        }
+    "#;
+    let diags = check_source("crates/core/src/ops/xschedule.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R5" && d.line == 2));
+    assert!(diags.iter().any(|d| d.rule == "R5" && d.line == 3));
+    assert!(diags.iter().any(|d| d.rule == "R5" && d.line == 5));
+}
+
+#[test]
+fn r5_bad_lock_in_facade() {
+    let src = "use parking_lot::Mutex;";
+    let diags = check_source("src/db.rs", src);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "R5"));
+}
+
+#[test]
+fn r5_good_threading_in_concurrency_zone() {
+    let src = r#"
+        use parking_lot::Mutex;
+        use std::sync::atomic::AtomicU64;
+        fn f() {
+            std::thread::scope(|_| {});
+        }
+    "#;
+    assert!(rules_of("crates/storage/src/shared_cache.rs", src).is_empty());
+    assert!(rules_of("crates/core/src/server.rs", src).is_empty());
+    assert!(rules_of("crates/bench/src/scaling.rs", src).is_empty());
+    // Test code anywhere is exempt.
+    assert!(rules_of("tests/parallel_batch.rs", src).is_empty());
 }
 
 // ------------------------------------------------------- self-check ---

@@ -113,6 +113,15 @@ pub trait Device {
     /// Enables or disables access-order tracing (used by the Example 1
     /// reproduction to show the page access order of each plan).
     fn set_trace(&mut self, _enabled: bool) {}
+
+    /// Forks an independent, `Send` view of the same stored pages for use by
+    /// a parallel worker: page images are shared by reference count (zero
+    /// copies), while queue state, head position, and statistics start
+    /// fresh. Devices that cannot offer this (e.g. ones bound to external
+    /// resources) return `None`, which is also the default.
+    fn try_fork(&self) -> Option<Box<dyn Device + Send>> {
+        None
+    }
 }
 
 #[cfg(test)]

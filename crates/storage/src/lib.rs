@@ -29,6 +29,7 @@ pub mod clock;
 pub mod device;
 pub mod file_device;
 pub mod mem_device;
+pub mod shared_cache;
 pub mod sim_disk;
 pub mod slotted;
 pub mod wal;
@@ -38,6 +39,7 @@ pub use clock::{SimClock, TimeBreakdown};
 pub use device::{Completion, Device, DeviceStats, PageId};
 pub use file_device::FileDevice;
 pub use mem_device::MemDevice;
+pub use shared_cache::{SharedCacheDevice, SharedPageCache, SharedPageCacheStats};
 pub use sim_disk::{DiskProfile, QueuePolicy, SimDisk};
 pub use slotted::{SlottedPageBuilder, SlottedPageReader};
 pub use wal::{recover, Lsn, SnapshotDevice, SnapshotHandle, WalRecord, WriteAheadLog};

@@ -124,6 +124,13 @@ impl Device for MemDevice {
             self.trace = None;
         }
     }
+
+    fn try_fork(&self) -> Option<Box<dyn Device + Send>> {
+        let mut fork = MemDevice::new(self.page_size);
+        // `Arc` clones: the fork shares every page image with the original.
+        fork.pages = self.pages.clone();
+        Some(Box::new(fork))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,502 @@
+//! A thread-safe, sharded page-image cache shared by concurrent workers.
+//!
+//! The paper's outlook (§7) predicts that concurrent queries "strongly
+//! benefit from asynchronous I/O, as scheduling decisions can be made based
+//! on more pending requests". The first step towards that is making sure a
+//! page physically read for one query is *free* for every other in-flight
+//! query: [`SharedPageCache`] keeps `PageId → Arc<[u8]>` page images behind
+//! lock-striped shards, so a hit is a shard-mutex acquire plus a reference
+//! count bump — never a page copy (the zero-copy `Arc<[u8]>` read path keeps
+//! `DeviceStats::page_copies` at zero through the cache).
+//!
+//! Misses use **single-flight** loading: the first worker to miss a page
+//! installs a flight entry and performs the device read while holding the
+//! flight's lock; any other worker that misses the same page in the meantime
+//! blocks on that lock and receives the freshly loaded image without issuing
+//! a second physical read. Waits are counted in
+//! [`SharedPageCacheStats::single_flight_waits`].
+//!
+//! [`SharedCacheDevice`] stacks the cache on top of any [`Device`] that can
+//! be forked ([`Device::try_fork`]), producing a `Send` device that each
+//! worker's private `TreeStore`/`BufferManager` can own. Everything above
+//! the device boundary stays single-threaded (`Rc`/`RefCell`), exactly as
+//! before — concurrency lives only below it.
+
+use crate::clock::SimClock;
+use crate::device::{Completion, Device, DeviceStats, PageId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of lock stripes. Power of two so shard selection is a mask.
+const SHARD_COUNT: usize = 16;
+
+/// Simulated CPU cost of a shared-cache probe (hash + lock + refcount).
+const CACHE_PROBE_NS: u64 = 1_000;
+
+/// Snapshot of cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedPageCacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that had to go to the underlying device.
+    pub misses: u64,
+    /// Times a worker blocked on another worker's in-progress load of the
+    /// same page instead of issuing a duplicate physical read.
+    pub single_flight_waits: u64,
+    /// Page images inserted (loads + async publishes).
+    pub inserts: u64,
+}
+
+impl SharedPageCacheStats {
+    /// Fraction of probes served from the cache, in `[0, 1]`.
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An in-progress single-flight load. The loader holds `slot`'s lock for the
+/// whole device read; waiters block on `lock()` and find the published image.
+#[derive(Default)]
+struct Flight {
+    slot: Mutex<Option<Arc<[u8]>>>,
+}
+
+#[derive(Default)]
+struct Shard {
+    pages: HashMap<PageId, Arc<[u8]>>,
+    flights: HashMap<PageId, Arc<Flight>>,
+}
+
+/// Sharded, lock-striped `PageId → Arc<[u8]>` cache with single-flight miss
+/// handling. Unbounded: it holds at most one image per distinct page of the
+/// database, which is exactly the working set a batch touches.
+pub struct SharedPageCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    single_flight_waits: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for SharedPageCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedPageCache {
+    /// Creates an empty cache with [`SHARD_COUNT`] stripes.
+    pub fn new() -> Self {
+        let mut shards = Vec::with_capacity(SHARD_COUNT);
+        for _ in 0..SHARD_COUNT {
+            shards.push(Mutex::new(Shard::default()));
+        }
+        Self {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            single_flight_waits: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, page: PageId) -> &Mutex<Shard> {
+        // SHARD_COUNT is a non-zero constant, and the vec is built to match.
+        let idx = page as usize & (SHARD_COUNT - 1);
+        match self.shards.get(idx) {
+            Some(s) => s,
+            // Unreachable by construction; fall back to the first stripe.
+            None => &self.shards[0], // lint:allow(shards has SHARD_COUNT > 0 entries by construction)
+        }
+    }
+
+    /// Probes the cache without loading. Counts a hit or a miss.
+    pub fn probe(&self, page: PageId) -> Option<Arc<[u8]>> {
+        let shard = self.shard(page).lock();
+        match shard.pages.get(&page) {
+            Some(b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(b))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns the cached image for `page`, or invokes `load` exactly once
+    /// across all concurrent callers to fetch it (single-flight).
+    pub fn get_or_load<F>(&self, page: PageId, mut load: F) -> Arc<[u8]>
+    where
+        F: FnMut() -> Arc<[u8]>,
+    {
+        loop {
+            let mut shard = self.shard(page).lock();
+            if let Some(b) = shard.pages.get(&page) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(b);
+            }
+            if let Some(f) = shard.flights.get(&page).map(Arc::clone) {
+                // Another worker is loading this page right now. Drop the
+                // shard lock and block on the flight instead of reading.
+                drop(shard);
+                self.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+                if let Some(b) = f.slot.lock().as_ref() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(b);
+                }
+                // The loader unwound without publishing. Retire its stale
+                // flight (if still present) and retry from the top.
+                let mut shard = self.shard(page).lock();
+                let stale = shard
+                    .flights
+                    .get(&page)
+                    .is_some_and(|cur| Arc::ptr_eq(cur, &f));
+                if stale {
+                    shard.flights.remove(&page);
+                }
+                continue;
+            }
+            // We are the loader. Lock the flight slot *before* making the
+            // flight visible, so waiters can never observe an empty slot
+            // while the load is still in progress.
+            let f = Arc::new(Flight::default());
+            let mut slot = f.slot.lock();
+            shard.flights.insert(page, Arc::clone(&f));
+            drop(shard);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let bytes = load();
+            *slot = Some(Arc::clone(&bytes));
+            let mut shard = self.shard(page).lock();
+            shard.pages.insert(page, Arc::clone(&bytes));
+            shard.flights.remove(&page);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            drop(shard);
+            drop(slot);
+            return bytes;
+        }
+    }
+
+    /// Inserts a page image loaded outside the single-flight path (e.g. an
+    /// asynchronous completion polled from the underlying device).
+    pub fn publish(&self, page: PageId, bytes: Arc<[u8]>) {
+        let mut shard = self.shard(page).lock();
+        if shard.pages.insert(page, bytes).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops the cached image for `page` (after a write).
+    pub fn invalidate(&self, page: PageId) {
+        self.shard(page).lock().pages.remove(&page);
+    }
+
+    /// Number of distinct pages currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().pages.len()).sum()
+    }
+
+    /// True when no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> SharedPageCacheStats {
+        SharedPageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A `Send` device adapter that consults a [`SharedPageCache`] before its
+/// inner device. Each parallel worker owns one adapter (wrapping a private
+/// [`Device::try_fork`] of the base device) while all adapters share the
+/// cache, so a page read by any worker costs every other worker a refcount
+/// bump. Device statistics ([`DeviceStats`]) are forwarded from the inner
+/// device and therefore count *physical* accesses only; cache traffic is
+/// reported separately via [`SharedPageCache::stats`].
+pub struct SharedCacheDevice {
+    inner: Box<dyn Device + Send>,
+    cache: Arc<SharedPageCache>,
+    /// Async submissions answered by the cache, waiting to be polled.
+    ready: VecDeque<Completion>,
+}
+
+impl SharedCacheDevice {
+    /// Stacks `cache` on top of `inner`.
+    pub fn new(inner: Box<dyn Device + Send>, cache: Arc<SharedPageCache>) -> Self {
+        Self {
+            inner,
+            cache,
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// The shared cache this adapter consults.
+    pub fn cache(&self) -> &Arc<SharedPageCache> {
+        &self.cache
+    }
+}
+
+impl Device for SharedCacheDevice {
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+        clock.charge_cpu(CACHE_PROBE_NS);
+        let inner = &mut self.inner;
+        self.cache
+            .get_or_load(page, || inner.read_sync(page, clock))
+    }
+
+    fn submit(&mut self, page: PageId, clock: &SimClock) {
+        clock.charge_cpu(CACHE_PROBE_NS);
+        match self.cache.probe(page) {
+            Some(bytes) => self.ready.push_back(Completion {
+                page,
+                bytes,
+                finished_at_ns: clock.now_ns(),
+            }),
+            None => self.inner.submit(page, clock),
+        }
+    }
+
+    fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion> {
+        if let Some(c) = self.ready.pop_front() {
+            return Some(c);
+        }
+        let c = self.inner.poll(clock, block)?;
+        self.cache.publish(c.page, Arc::clone(&c.bytes));
+        Some(c)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inner.in_flight() + self.ready.len()
+    }
+
+    fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
+        self.inner.append_page(bytes)
+    }
+
+    fn write_page(&mut self, page: PageId, bytes: Vec<u8>) {
+        self.cache.invalidate(page);
+        self.inner.write_page(page, bytes);
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn access_trace(&self) -> &[PageId] {
+        self.inner.access_trace()
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        self.inner.set_trace(enabled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::mem_device::MemDevice;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn cache_and_adapter_cross_threads() {
+        assert_send_sync::<SharedPageCache>();
+        assert_send::<SharedCacheDevice>();
+    }
+
+    fn mem_with_pages(n: u8) -> MemDevice {
+        let mut d = MemDevice::new(32);
+        for i in 0..n {
+            d.append_page(vec![i; 4]);
+        }
+        d
+    }
+
+    #[test]
+    fn get_or_load_loads_once() {
+        let cache = SharedPageCache::new();
+        let mut loads = 0u32;
+        let a = cache.get_or_load(7, || {
+            loads += 1;
+            Arc::from(vec![42u8; 4])
+        });
+        let b = cache.get_or_load(7, || {
+            loads += 1;
+            Arc::from(vec![0u8; 4])
+        });
+        assert_eq!(loads, 1);
+        assert!(Arc::ptr_eq(&a, &b), "hit must be a refcount clone");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn adapter_serves_second_read_from_cache() {
+        let cache = Arc::new(SharedPageCache::new());
+        let mut d1 = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
+        let mut d2 = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
+        let clock = SimClock::new();
+        let a = d1.read_sync(2, &clock);
+        let b = d2.read_sync(2, &clock);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Only the first adapter touched its physical device.
+        assert_eq!(d1.stats().reads, 1);
+        assert_eq!(d2.stats().reads, 0);
+        assert_eq!(d1.stats().page_copies + d2.stats().page_copies, 0);
+    }
+
+    #[test]
+    fn async_path_publishes_and_hits() {
+        let cache = Arc::new(SharedPageCache::new());
+        let mut d1 = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
+        let mut d2 = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
+        let clock = SimClock::new();
+        d1.submit(1, &clock);
+        let c = d1.poll(&clock, true).unwrap();
+        assert_eq!(c.page, 1);
+        // The polled completion was published; d2's submit is a cache hit.
+        d2.submit(1, &clock);
+        assert_eq!(d2.in_flight(), 1);
+        let c2 = d2.poll(&clock, true).unwrap();
+        assert!(Arc::ptr_eq(&c.bytes, &c2.bytes));
+        assert_eq!(d2.stats().reads, 0);
+    }
+
+    #[test]
+    fn write_invalidates() {
+        let cache = Arc::new(SharedPageCache::new());
+        let mut d = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
+        let clock = SimClock::new();
+        let old = d.read_sync(3, &clock);
+        d.write_page(3, vec![9; 4]);
+        let new = d.read_sync(3, &clock);
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert_eq!(new[0], 9);
+    }
+
+    #[test]
+    fn single_flight_blocks_second_reader() {
+        use std::sync::mpsc;
+
+        // A device whose reads park until released, so a second reader
+        // provably overlaps the first one's load window.
+        struct SlowDevice {
+            inner: MemDevice,
+            started: mpsc::Sender<()>,
+            release: mpsc::Receiver<()>,
+            reads: Arc<AtomicU64>,
+        }
+        impl Device for SlowDevice {
+            fn num_pages(&self) -> u32 {
+                self.inner.num_pages()
+            }
+            fn page_size(&self) -> usize {
+                self.inner.page_size()
+            }
+            fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+                self.started.send(()).ok();
+                self.release.recv().ok();
+                self.reads.fetch_add(1, Ordering::SeqCst);
+                self.inner.read_sync(page, clock)
+            }
+            fn submit(&mut self, page: PageId, clock: &SimClock) {
+                self.inner.submit(page, clock)
+            }
+            fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion> {
+                self.inner.poll(clock, block)
+            }
+            fn in_flight(&self) -> usize {
+                self.inner.in_flight()
+            }
+            fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
+                self.inner.append_page(bytes)
+            }
+            fn write_page(&mut self, page: PageId, bytes: Vec<u8>) {
+                self.inner.write_page(page, bytes)
+            }
+            fn stats(&self) -> DeviceStats {
+                self.inner.stats()
+            }
+            fn reset_stats(&mut self) {
+                self.inner.reset_stats()
+            }
+        }
+
+        let cache = Arc::new(SharedPageCache::new());
+        let physical_reads = Arc::new(AtomicU64::new(0));
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let slow = SlowDevice {
+            inner: mem_with_pages(2),
+            started: started_tx,
+            release: release_rx,
+            reads: Arc::clone(&physical_reads),
+        };
+        let mut d1 = SharedCacheDevice::new(Box::new(slow), Arc::clone(&cache));
+        let mut d2 = SharedCacheDevice::new(Box::new(mem_with_pages(2)), Arc::clone(&cache));
+
+        std::thread::scope(|s| {
+            let h1 = s.spawn(move || {
+                let clock = SimClock::new();
+                d1.read_sync(0, &clock)
+            });
+            // The loader signals from *inside* its device read, i.e. after
+            // it has installed and locked the flight — so the second reader
+            // is guaranteed to find the flight, not an empty cache.
+            started_rx.recv().unwrap();
+            let h2 = s.spawn(move || {
+                let clock = SimClock::new();
+                d2.read_sync(0, &clock)
+            });
+            // The flight cannot resolve until we release the loader, so the
+            // waiter is guaranteed to register; spin until it has.
+            while cache.stats().single_flight_waits == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            release_tx.send(()).unwrap();
+            let a = h1.join().unwrap();
+            let b = h2.join().unwrap();
+            assert!(Arc::ptr_eq(&a, &b));
+        });
+
+        // d1 is the only adapter whose device was touched; d2 was served by
+        // the single-flight path, never by its own device.
+        assert_eq!(physical_reads.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.inserts, 1);
+        assert!(
+            s.single_flight_waits >= 1,
+            "waiter must have blocked: {s:?}"
+        );
+    }
+}

@@ -613,6 +613,15 @@ impl Device for SimDisk {
             self.trace = None;
         }
     }
+
+    fn try_fork(&self) -> Option<Box<dyn Device + Send>> {
+        let mut fork = SimDisk::with_profile(self.page_size, self.profile);
+        fork.policy = self.policy;
+        // `Arc` clones: the fork shares every page image with the original
+        // but models its own head, queue, and busy state.
+        fork.pages = self.pages.clone();
+        Some(Box::new(fork))
+    }
 }
 
 /// The original queue implementation, retained verbatim as the oracle for

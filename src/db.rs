@@ -2,12 +2,13 @@
 //! queries with any of the paper's three physical methods.
 
 use pathix_core::{
-    execute_interleaved, execute_path, execute_paths_shared_scan, execute_query, ConcurrentRun,
-    ExecError, ExecReport, Method, MultiPathRun, Optimizer, PathRun, PlanConfig, PlanEstimate,
-    QueryRun,
+    execute_batch_parallel, execute_interleaved, execute_path, execute_paths_shared_scan,
+    execute_query, ConcurrentRun, ExecError, ExecReport, Method, MultiPathRun, Optimizer, PathRun,
+    PlanConfig, PlanEstimate, QueryRun, WorkerSeed,
 };
 use pathix_storage::{
-    BufferParams, Device, DiskProfile, MemDevice, QueuePolicy, SimClock, SimDisk,
+    BufferParams, Device, DiskProfile, MemDevice, QueuePolicy, SharedCacheDevice, SharedPageCache,
+    SharedPageCacheStats, SimClock, SimDisk,
 };
 use pathix_tree::{import_into, ImportConfig, ImportReport, NodeId, Placement, TreeStore};
 use pathix_xml::Document;
@@ -68,6 +69,9 @@ pub enum DbError {
     Import(pathix_tree::import::ImportError),
     /// A physical plan broke its output contract during execution.
     Exec(ExecError),
+    /// The operation is not available on this database's device (e.g.
+    /// parallel execution over a device that cannot be forked).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for DbError {
@@ -76,6 +80,7 @@ impl fmt::Display for DbError {
             DbError::Parse(e) => write!(f, "{e}"),
             DbError::Import(e) => write!(f, "{e}"),
             DbError::Exec(e) => write!(f, "{e}"),
+            DbError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -98,6 +103,18 @@ impl From<ExecError> for DbError {
     fn from(e: ExecError) -> Self {
         DbError::Exec(e)
     }
+}
+
+/// Result of a parallel batch run (see [`Database::run_parallel`]).
+#[derive(Debug)]
+pub struct ParallelRun {
+    /// One run per work item, in batch order.
+    pub runs: Vec<ConcurrentRun>,
+    /// Sum of the per-item reports (aggregate simulated work, not elapsed
+    /// wall time — workers run concurrently).
+    pub report: ExecReport,
+    /// Shared page cache counters for the whole batch.
+    pub cache: SharedPageCacheStats,
 }
 
 /// A stored document plus everything needed to query it.
@@ -226,6 +243,47 @@ impl Database {
             .map(|(p, m)| parse_path(p).map(|x| (x.rooted(), *m)))
             .collect::<Result<_, _>>()?;
         Ok(execute_interleaved(&self.store, &parsed, cfg)?)
+    }
+
+    /// Runs several `(path, method)` plans in parallel on `workers` OS
+    /// threads over a shared page cache (see `pathix_core::server`). Each
+    /// worker owns a private fork of this database's device, so the main
+    /// store is untouched: its clock, buffer, and statistics do not move.
+    ///
+    /// Results are in batch order and bit-identical to running each plan
+    /// sequentially. Fails with [`DbError::Unsupported`] if the device
+    /// cannot be forked (e.g. a file-backed device).
+    pub fn run_parallel(
+        &self,
+        work: &[(&str, Method)],
+        cfg: &PlanConfig,
+        workers: usize,
+    ) -> Result<ParallelRun, DbError> {
+        let parsed: Vec<(pathix_xpath::LocationPath, Method)> = work
+            .iter()
+            .map(|(p, m)| parse_path(p).map(|x| (x.rooted(), *m)))
+            .collect::<Result<_, _>>()?;
+        let cache = std::sync::Arc::new(SharedPageCache::new());
+        let mut seeds = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let fork = self
+                .store
+                .buffer
+                .device_mut()
+                .try_fork()
+                .ok_or(DbError::Unsupported("this device cannot be forked"))?;
+            seeds.push(WorkerSeed {
+                device: Box::new(SharedCacheDevice::new(fork, std::sync::Arc::clone(&cache))),
+                meta: self.store.meta.clone(),
+                params: self.store.buffer.params(),
+            });
+        }
+        let batch = execute_batch_parallel(seeds, &parsed, cfg)?;
+        Ok(ParallelRun {
+            runs: batch.runs,
+            report: batch.report,
+            cache: cache.stats(),
+        })
     }
 
     fn optimizer(&self) -> Optimizer<'_> {

@@ -49,5 +49,5 @@ pub use pathix_xpath as xpath;
 
 mod db;
 
-pub use db::{Database, DatabaseOptions, DbError, DeviceKind};
+pub use db::{Database, DatabaseOptions, DbError, DeviceKind, ParallelRun};
 pub use pathix_core::{ExecReport, Method, PlanConfig, QueryRun};

@@ -1,0 +1,117 @@
+//! End-to-end checks of the parallel batch executor (`Database::run_parallel`):
+//! for any worker count and any method mix, parallel results are bit-identical
+//! to sequential one-at-a-time execution, the shared-cache read path performs
+//! zero page copies, and the per-plan report deltas sum to the combined batch
+//! report.
+
+// Tests may panic freely; the unwrap ban guards the hot path (see R3).
+#![allow(clippy::unwrap_used)]
+
+use pathix::{Database, DatabaseOptions, DeviceKind, Method, PlanConfig};
+
+const PATHS: [&str; 6] = [
+    "/site/regions//item",
+    "/site/people//email",
+    "/site/open_auctions//description",
+    "/site/closed_auctions//annotation",
+    "/site/closed_auctions/closed_auction/annotation/description/parlist\
+     /listitem/parlist/listitem/text/emph/keyword",
+    "//keyword",
+];
+
+fn corpus() -> Vec<(&'static str, Method)> {
+    let mut work = Vec::new();
+    for m in [Method::Simple, Method::xschedule(), Method::XScan] {
+        for p in PATHS {
+            work.push((p, m));
+        }
+    }
+    work
+}
+
+fn sorted_cfg() -> PlanConfig {
+    let mut cfg = PlanConfig::new(Method::Simple);
+    cfg.sort = true;
+    cfg
+}
+
+/// The determinism contract: for every worker count, the parallel batch
+/// returns exactly what sequential one-at-a-time execution returns, in
+/// batch order, for all three methods.
+#[test]
+fn parallel_is_bit_identical_to_sequential_for_any_worker_count() {
+    let db = Database::from_xmark(0.012, &DatabaseOptions::default()).unwrap();
+    let work = corpus();
+    let cfg = sorted_cfg();
+
+    let reference: Vec<_> = work
+        .iter()
+        .map(|(p, m)| {
+            let mut item_cfg = cfg;
+            item_cfg.method = *m;
+            db.run_path(p, &item_cfg).unwrap().nodes
+        })
+        .collect();
+    // The corpus is non-trivial: every path matches something.
+    assert!(reference.iter().all(|nodes| !nodes.is_empty()));
+
+    for workers in [1, 2, 3, 8] {
+        let batch = db.run_parallel(&work, &cfg, workers).unwrap();
+        assert_eq!(batch.runs.len(), reference.len());
+        for (i, (run, want)) in batch.runs.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                &run.nodes, want,
+                "item {i} diverged at {workers} workers (path {:?}, method {:?})",
+                work[i].0, work[i].1
+            );
+        }
+    }
+}
+
+/// The shared-cache read path hands out `Arc<[u8]>` clones, never copies:
+/// `page_copies` stays zero across the whole batch while the cache is
+/// demonstrably in use.
+#[test]
+fn shared_cache_read_path_is_zero_copy() {
+    let db = Database::from_xmark(0.012, &DatabaseOptions::default()).unwrap();
+    let batch = db.run_parallel(&corpus(), &sorted_cfg(), 4).unwrap();
+    assert_eq!(batch.report.device.page_copies, 0);
+    // The cache actually served the batch: every physical read went
+    // through it as a miss, and reads happened.
+    assert!(batch.cache.misses > 0);
+    assert!(batch.report.device.reads > 0);
+}
+
+/// Per-plan report deltas attribute the batch cost exactly: summing them
+/// reproduces the combined report's physical-read total.
+#[test]
+fn per_plan_reports_sum_to_combined() {
+    let db = Database::from_xmark(0.012, &DatabaseOptions::default()).unwrap();
+    let batch = db.run_parallel(&corpus(), &sorted_cfg(), 3).unwrap();
+    let read_sum: u64 = batch.runs.iter().map(|r| r.report.device.reads).sum();
+    assert_eq!(read_sum, batch.report.device.reads);
+    for run in &batch.runs {
+        assert!(!run.method.is_empty());
+    }
+}
+
+/// A memory-backed database parallelizes too (forks share page images by
+/// refcount), and worker counts beyond the batch size are harmless.
+#[test]
+fn mem_device_and_excess_workers() {
+    let opts = DatabaseOptions {
+        device: DeviceKind::Mem,
+        ..Default::default()
+    };
+    let db = Database::from_xmark(0.012, &opts).unwrap();
+    let work = [("/site/regions//item", Method::xschedule())];
+    let cfg = sorted_cfg();
+    let want = db.run_path(work[0].0, &{
+        let mut c = cfg;
+        c.method = work[0].1;
+        c
+    });
+    let batch = db.run_parallel(&work, &cfg, 16).unwrap();
+    assert_eq!(batch.runs.len(), 1);
+    assert_eq!(batch.runs[0].nodes, want.unwrap().nodes);
+}
