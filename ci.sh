@@ -7,16 +7,20 @@
 #   1. cargo fmt --check      — formatting is canonical
 #   2. cargo build --release  — the workspace compiles with optimizations
 #   3. cargo test -q          — the tier-1 test suite
-#   4. pathix-lint check      — the R1-R5 architectural invariants
+#   4. pathix-lint check      — the R1-R6 architectural invariants
 #      (I/O confinement, determinism, panic-freedom, layering,
-#      concurrency confinement; see DESIGN.md "Statically enforced
-#      invariants")
+#      concurrency confinement, fault containment; see DESIGN.md
+#      "Statically enforced invariants")
 #   5. cargo bench --no-run   — criterion benches stay compiling
 #   6. report throughput --fast — throughput smoke (instant disk profile,
 #      small document; does not overwrite BENCH_PR2.json)
 #   7. report scaling --fast  — parallel batch smoke (2 workers, instant
 #      profile; cross-checks parallel == sequential and zero page copies;
 #      does not overwrite BENCH_PR3.json)
+#   8. report chaos --fast    — fault-injection smoke (every chaos
+#      scenario at reduced scale: transient storms heal, permanent
+#      faults abort cleanly, zero wrong answers; does not overwrite
+#      BENCH_PR4.json)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,5 +44,8 @@ cargo run -q --release -p pathix-bench --bin report -- throughput --fast
 
 echo "==> parallel batch smoke (fast mode)"
 cargo run -q --release -p pathix-bench --bin report -- scaling --fast
+
+echo "==> chaos smoke (fast mode)"
+cargo run -q --release -p pathix-bench --bin report -- chaos --fast
 
 echo "ci: all gates passed"

@@ -11,6 +11,9 @@
 //!              scaling      (not part of `all`; writes BENCH_PR3.json —
 //!                            with --fast: 2 workers, small doc, instant
 //!                            disk profile, no artifact written)
+//!              chaos        (not part of `all`; writes BENCH_PR4.json —
+//!                            with --fast: small doc, instant disk
+//!                            profile, fewer fuzz trials, no artifact)
 //! ```
 
 // Stdout is this binary's output channel.
@@ -255,6 +258,60 @@ fn scaling_report(fast: bool) {
     }
 }
 
+fn chaos_report(fast: bool) {
+    println!("== Chaos: fault injection over the mixed query corpus ==");
+    if fast {
+        println!("   (fast: small doc, instant disk profile, reduced fuzz trials)");
+    }
+    let (scale, rows) = pathix_bench::chaos::chaos_sweep(fast);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.queries.to_string(),
+                r.tally.ok_identical.to_string(),
+                r.tally.clean_io_aborts.to_string(),
+                r.tally.wrong.to_string(),
+                r.retries.to_string(),
+                r.faults_injected.to_string(),
+                r.pass.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "scenario",
+                "queries",
+                "ok identical",
+                "clean Io aborts",
+                "wrong",
+                "retries",
+                "faults",
+                "pass"
+            ],
+            &table_rows
+        )
+    );
+    assert!(
+        rows.iter().all(|r| r.tally.wrong == 0),
+        "chaos sweep produced wrong answers"
+    );
+    assert!(
+        rows.iter().all(|r| r.pass),
+        "a chaos scenario failed its acceptance condition"
+    );
+    if fast {
+        println!("(fast mode: BENCH_PR4.json not written)");
+    } else {
+        let json = pathix_bench::chaos::emit_json(scale, &rows);
+        std::fs::write("BENCH_PR4.json", json).expect("write BENCH_PR4.json");
+        println!("wrote BENCH_PR4.json");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut factors: Vec<f64> = SCALING_FACTORS.to_vec();
@@ -470,5 +527,9 @@ fn main() {
     // Not part of `all`: wall-clock thread scaling of the batch executor.
     if wanted.iter().any(|w| w == "scaling") {
         scaling_report(fast);
+    }
+    // Not part of `all`: fault-injection robustness sweep.
+    if wanted.iter().any(|w| w == "chaos") {
+        chaos_report(fast);
     }
 }

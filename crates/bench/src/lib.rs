@@ -13,6 +13,7 @@
 //! Criterion micro-benchmarks live in `benches/` and wrap the same
 //! experiment functions.
 
+pub mod chaos;
 pub mod experiments;
 pub mod scaling;
 pub mod table;

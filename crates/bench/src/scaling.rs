@@ -27,8 +27,8 @@ use crate::{bench_options, build_db_with};
 use pathix::{Database, Method, PlanConfig};
 use pathix_core::{execute_batch_parallel, WorkerSeed};
 use pathix_storage::{
-    Completion, Device, DeviceStats, DiskProfile, PageId, SharedCacheDevice, SharedPageCache,
-    SharedPageCacheStats, SimClock,
+    Completion, Device, DeviceStats, DiskProfile, IoError, PageId, SharedCacheDevice,
+    SharedPageCache, SharedPageCacheStats, SimClock,
 };
 use pathix_tree::NodeId;
 use std::sync::Arc;
@@ -75,9 +75,11 @@ impl Device for PacedDevice {
         self.inner.page_size()
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
         let bytes = self.inner.read_sync(page, clock);
-        self.pace();
+        if bytes.is_ok() {
+            self.pace();
+        }
         bytes
     }
 
@@ -247,14 +249,14 @@ pub fn scaling_sweep(
         let cache = Arc::new(SharedPageCache::new());
         let seeds = seeds_for(&db, workers, read_ns, &cache);
         let t = Instant::now();
-        let batch = execute_batch_parallel(seeds, &parsed, &cfg).expect("parallel batch runs");
+        let batch = execute_batch_parallel(seeds, &parsed, &cfg);
         let wall_s = t.elapsed().as_secs_f64().max(1e-9);
         let identical = batch.runs.len() == reference.len()
             && batch
                 .runs
                 .iter()
                 .zip(&reference)
-                .all(|(run, want)| &run.nodes == want);
+                .all(|(run, want)| run.as_ref().is_ok_and(|r| &r.nodes == want));
         let base = rows.first().map(|r: &ScalingRow| r.wall_ms).unwrap_or(0.0);
         rows.push(ScalingRow {
             workers,

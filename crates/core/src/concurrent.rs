@@ -44,6 +44,8 @@ pub fn execute_interleaved(
     work: &[(LocationPath, Method)],
     cfg: &PlanConfig,
 ) -> Result<(Vec<ConcurrentRun>, ExecReport), ExecError> {
+    // A recorded I/O error from an earlier aborted run must not bleed in.
+    store.clear_io_error();
     let clock0 = store.clock().breakdown();
     let buf0 = store.buffer.stats();
     let dev0 = store.buffer.device_stats();
@@ -102,10 +104,12 @@ pub fn execute_interleaved(
                             slot: s,
                             order,
                         } => slot.nodes.push((cluster.id(*s), *order)),
-                        REnd::Cold { id, .. } => {
-                            let cluster = store.fix(id.page);
-                            slot.nodes.push((*id, cluster.node(id.slot).order));
-                        }
+                        REnd::Cold { id, .. } => match store.checked_fix(id.page) {
+                            Some(cluster) => {
+                                slot.nodes.push((*id, cluster.node(id.slot).order));
+                            }
+                            None => slot.done = true, // error recorded; abort below
+                        },
                         other => {
                             return Err(ExecError::unexpected_end("execute_interleaved", other))
                         }
@@ -120,9 +124,21 @@ pub fn execute_interleaved(
                 ..Default::default()
             });
         }
-        if !progressed {
+        if !progressed || store.io_failed() {
             break;
         }
+    }
+
+    if let Some(e) = store.take_io_error() {
+        // Clean abort of the whole interleaved batch: the shared device is
+        // the failure domain here (unlike the forked per-worker devices of
+        // `execute_batch_parallel`, which contain failures per item).
+        drop(slots);
+        store.buffer.drain_inflight();
+        return Err(ExecError::Io {
+            page: e.page,
+            attempts: e.attempts,
+        });
     }
 
     let mut runs = Vec::with_capacity(slots.len());

@@ -26,6 +26,15 @@ pub enum ExecError {
         /// Index of the orphaned work item.
         item: usize,
     },
+    /// A page read failed unrecoverably (permanent device error or a
+    /// checksum mismatch that survived every retry); the plan was drained
+    /// and aborted cleanly.
+    Io {
+        /// The page whose read failed.
+        page: u32,
+        /// Read attempts made before giving up (1 = no retry).
+        attempts: u32,
+    },
 }
 
 impl ExecError {
@@ -46,6 +55,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::WorkerLost { item } => {
                 write!(f, "parallel batch: no worker delivered item {item}")
+            }
+            ExecError::Io { page, attempts } => {
+                write!(f, "I/O error on page {page} after {attempts} attempt(s)")
             }
         }
     }

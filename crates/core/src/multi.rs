@@ -10,6 +10,7 @@
 //! document **once** instead of three times.
 
 use crate::context::ExecCtx;
+use crate::error::ExecError;
 use crate::instance::{Pi, REnd};
 use crate::ops::{Operator, XAssembly, XStep};
 use crate::plan::PlanConfig;
@@ -67,7 +68,8 @@ pub fn execute_paths_shared_scan(
     store: &TreeStore,
     paths: &[LocationPath],
     cfg: &PlanConfig,
-) -> MultiPathRun {
+) -> Result<MultiPathRun, ExecError> {
+    store.clear_io_error();
     let cx = ExecCtx::new(store, cfg.costs, None);
     let clock0 = store.clock().breakdown();
     let buf0 = store.buffer.stats();
@@ -103,7 +105,11 @@ pub fn execute_paths_shared_scan(
         .collect();
 
     for page in store.meta.page_range() {
-        let cluster = store.fix(page);
+        // An unrecovered read error aborts the whole shared scan: the
+        // recorded error is surfaced below, after the pipelines drain.
+        let Some(cluster) = store.checked_fix(page) else {
+            break;
+        };
         let is_root_page = page == root.page;
         let border_slots: Vec<u16> = cluster.border_slots().collect();
         for pl in &mut pipelines {
@@ -146,8 +152,9 @@ pub fn execute_paths_shared_scan(
         }
         // Zero-step path: the result is the context itself.
         if pl.len == 0 && pl.results.is_empty() {
-            let cluster = store.fix(root.page);
-            pl.results.push((root, cluster.node(root.slot).order));
+            if let Some(cluster) = store.checked_fix(root.page) {
+                pl.results.push((root, cluster.node(root.slot).order));
+            }
         }
         if cfg.sort {
             pl.results.sort_by_key(|&(_, o)| o);
@@ -173,7 +180,13 @@ pub fn execute_paths_shared_scan(
         speculative_generated: cx.stats.speculative_generated.get(),
         fallback: false,
     };
-    MultiPathRun { per_path, report }
+    if let Some(e) = store.take_io_error() {
+        return Err(ExecError::Io {
+            page: e.page,
+            attempts: e.attempts,
+        });
+    }
+    Ok(MultiPathRun { per_path, report })
 }
 
 #[cfg(test)]
@@ -204,7 +217,7 @@ mod tests {
             .collect();
         let mut cfg = PlanConfig::new(crate::plan::Method::XScan);
         cfg.sort = true;
-        let run = execute_paths_shared_scan(&store, &paths, &cfg);
+        let run = execute_paths_shared_scan(&store, &paths, &cfg).expect("fault-free scan");
         assert_eq!(run.per_path.len(), paths.len());
         for (i, path) in paths.iter().enumerate() {
             let got: Vec<u64> = run.per_path[i].iter().map(|&(_, o)| o).collect();
@@ -222,7 +235,7 @@ mod tests {
             .map(|p| parse_path(p).unwrap())
             .collect();
         let cfg = PlanConfig::new(crate::plan::Method::XScan);
-        let run = execute_paths_shared_scan(&store, &paths, &cfg);
+        let run = execute_paths_shared_scan(&store, &paths, &cfg).expect("fault-free scan");
         assert_eq!(
             run.report.device.reads, store.meta.page_count as u64,
             "one scan, not one per path"
@@ -234,7 +247,8 @@ mod tests {
         let doc = sample_doc();
         let store = mem_store(&doc, 256, Placement::Sequential);
         let run =
-            execute_paths_shared_scan(&store, &[], &PlanConfig::new(crate::plan::Method::XScan));
+            execute_paths_shared_scan(&store, &[], &PlanConfig::new(crate::plan::Method::XScan))
+                .expect("fault-free scan");
         assert!(run.per_path.is_empty());
         assert_eq!(run.counts(), Vec::<u64>::new());
     }
@@ -247,7 +261,8 @@ mod tests {
             &store,
             &[parse_path("/").unwrap()],
             &PlanConfig::new(crate::plan::Method::XScan),
-        );
+        )
+        .expect("fault-free scan");
         assert_eq!(run.per_path[0].len(), 1);
         assert_eq!(run.per_path[0][0].0, store.meta.root);
     }

@@ -40,6 +40,12 @@ impl UnnestMap {
 impl Operator for UnnestMap {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         loop {
+            // An unrecovered read error aborts the plan: wind down instead
+            // of starting further cursors over the failed store.
+            if cx.store.io_failed() {
+                self.current = None;
+                return None;
+            }
             if let Some((sl, nl, cursor)) = &mut self.current {
                 let charge = cx.nav_charge();
                 match cursor.next(cx.store, &charge) {

@@ -65,7 +65,11 @@ impl XScan {
     }
 
     fn visit_cluster(&mut self, cx: &ExecCtx<'_>, page: PageId) {
-        let cluster = cx.store.fix(page);
+        // A failed read records the error on the store; the scan winds down
+        // on the next `next()` turn (io_failed check).
+        let Some(cluster) = cx.store.checked_fix(page) else {
+            return;
+        };
         // 1. Context instances located in this cluster.
         if let Some(ctxs) = self.ctx_by_page.get(&page) {
             for &id in ctxs {
@@ -94,6 +98,12 @@ impl Operator for XScan {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         self.materialize_contexts(cx);
         loop {
+            // An unrecovered read error aborts the plan: stop emitting so
+            // the pipeline winds down and the executor can surface it.
+            if cx.store.io_failed() {
+                self.emit.clear();
+                return None;
+            }
             if cx.in_fallback() && self.fb_pos.is_none() {
                 // Restart as identity over the context nodes (§5.4.6).
                 self.emit.clear();
@@ -105,7 +115,7 @@ impl Operator for XScan {
             if let Some(fb) = &mut self.fb_pos {
                 let &id = self.all_contexts.get(*fb)?;
                 *fb += 1;
-                let cluster = cx.store.fix(id.page);
+                let cluster = cx.store.checked_fix(id.page)?;
                 let order = cluster.node(id.slot).order;
                 cx.charge_instance();
                 return Some(Pi::swizzled_context(cluster, id.slot, order));

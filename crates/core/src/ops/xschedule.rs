@@ -232,6 +232,13 @@ impl XSchedule {
 impl Operator for XSchedule {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         loop {
+            // An unrecovered read error aborts the plan: stop emitting so
+            // the pipeline winds down and the executor can surface it.
+            if cx.store.io_failed() {
+                self.emit.clear();
+                self.current = None;
+                return None;
+            }
             if let Some(pi) = self.emit.pop_front() {
                 return Some(pi);
             }
@@ -289,7 +296,7 @@ impl Operator for XSchedule {
                 .pages()
                 .find(|&p| cx.store.buffer.is_resident(p));
             let cluster = match resident {
-                Some(p) => cx.store.fix(p),
+                Some(p) => cx.store.checked_fix(p)?,
                 None => match cx.store.buffer.fix_any_prefetched(true) {
                     Some((p, cl)) => {
                         let needed = self.shared.borrow().contains_page(p);
@@ -308,7 +315,7 @@ impl Operator for XSchedule {
                         // the emptiness check instead of panicking.
                         let first = self.shared.borrow().first_page();
                         match first {
-                            Some(p) => cx.store.fix(p),
+                            Some(p) => cx.store.checked_fix(p)?,
                             None => continue,
                         }
                     }

@@ -125,6 +125,12 @@ impl XStep {
 impl Operator for XStep {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         loop {
+            // An unrecovered read error aborts the plan: wind down instead
+            // of extending further instances over the failed store.
+            if cx.store.io_failed() {
+                self.current = None;
+                return None;
+            }
             if let Some((sl, nl, li, cursor)) = &mut self.current {
                 let charge = cx.nav_charge();
                 match cursor {

@@ -209,6 +209,8 @@ pub fn execute_path_from(
     } else {
         path.clone()
     };
+    // A recorded I/O error from an earlier aborted run must not bleed in.
+    store.clear_io_error();
     let cx = ExecCtx::new(store, cfg.costs, cfg.mem_limit);
     let clock0 = store.clock().breakdown();
     let buf0 = store.buffer.stats();
@@ -227,10 +229,10 @@ pub fn execute_path_from(
                 order,
             } => (cluster.id(*slot), *order),
             // Zero-step Simple plans emit the raw context instances.
-            REnd::Cold { id, .. } => {
-                let cluster = store.fix(id.page);
-                (*id, cluster.node(id.slot).order)
-            }
+            REnd::Cold { id, .. } => match store.checked_fix(id.page) {
+                Some(cluster) => (*id, cluster.node(id.slot).order),
+                None => break, // error recorded; abort below
+            },
             other => return Err(ExecError::unexpected_end("execute_path_from", other)),
         };
         if simple {
@@ -243,6 +245,17 @@ pub fn execute_path_from(
         nodes.push((id, order));
     }
     drop(plan);
+
+    if let Some(e) = store.take_io_error() {
+        // Clean abort: discard whatever asynchronous reads are still queued
+        // so the next run starts from an idle device, then surface the
+        // failure as a value.
+        store.buffer.drain_inflight();
+        return Err(ExecError::Io {
+            page: e.page,
+            attempts: e.attempts,
+        });
+    }
 
     if cfg.sort {
         // §5.5: reordered evaluation needs a final sort into document order.

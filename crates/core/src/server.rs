@@ -52,16 +52,29 @@ pub struct WorkerSeed {
     pub params: BufferParams,
 }
 
-/// Result of a parallel batch.
+/// Result of a parallel batch. Failures are contained per item: one query
+/// hitting a bad page (or losing its worker) does not void the rest of the
+/// batch, because every worker runs over a private device fork — the
+/// failure domain is the item, not the batch.
 pub struct BatchRun {
-    /// One run per work item, in batch order (independent of which worker
-    /// executed it).
-    pub runs: Vec<ConcurrentRun>,
-    /// Sum of the per-item reports. `time` is aggregate simulated time
-    /// across all workers (simulated clocks run concurrently, so this is
-    /// total *work*, not elapsed time); wall-clock elapsed time is the
-    /// harness's concern, not the engine's (R2 determinism).
+    /// One result per work item, in batch order (independent of which
+    /// worker executed it). An item fails alone, with [`ExecError::Io`]
+    /// for an unrecovered page read or [`ExecError::WorkerLost`] if its
+    /// worker died before publishing a result.
+    pub runs: Vec<Result<ConcurrentRun, ExecError>>,
+    /// Sum of the *successful* per-item reports. `time` is aggregate
+    /// simulated time across all workers (simulated clocks run
+    /// concurrently, so this is total *work*, not elapsed time);
+    /// wall-clock elapsed time is the harness's concern, not the
+    /// engine's (R2 determinism).
     pub report: ExecReport,
+}
+
+impl BatchRun {
+    /// Number of items that failed.
+    pub fn failed(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_err()).count()
+    }
 }
 
 /// Executes every `(path, method)` item of `work` across `seeds.len()`
@@ -69,13 +82,16 @@ pub struct BatchRun {
 ///
 /// Each result is produced by [`execute_path_from`] on the worker's private
 /// store, so per-item nodes and reports have exactly the same shape as
-/// sequential execution. Panics if `seeds` is empty (the caller chooses the
-/// worker count; zero workers cannot run a batch).
+/// sequential execution. A panicking item is caught on its worker thread
+/// and recorded as [`ExecError::WorkerLost`]; the worker then resets its
+/// private engine state and keeps claiming items, so a single poisoned
+/// query costs exactly one batch slot. Panics if `seeds` is empty (the
+/// caller chooses the worker count; zero workers cannot run a batch).
 pub fn execute_batch_parallel(
     seeds: Vec<WorkerSeed>,
     work: &[(LocationPath, Method)],
     cfg: &PlanConfig,
-) -> Result<BatchRun, ExecError> {
+) -> BatchRun {
     assert!(!seeds.is_empty(), "a batch needs at least one worker");
     let cfg = *cfg;
     let next = AtomicUsize::new(0);
@@ -89,50 +105,67 @@ pub fn execute_batch_parallel(
             scope.spawn(move || {
                 // The whole single-threaded engine stack is private to this
                 // thread: fresh clock, fresh buffer, private device fork.
-                let store = TreeStore::open(
-                    seed.device,
-                    seed.meta,
-                    seed.params,
-                    Rc::new(SimClock::new()),
-                );
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((path, method)) = work.get(i) else {
-                        break;
-                    };
-                    let mut item_cfg = cfg;
-                    item_cfg.method = *method;
-                    let out = execute_path_from(&store, path, vec![store.meta.root], &item_cfg)
-                        .map(|run| ConcurrentRun {
-                            nodes: run.nodes,
-                            method: method.label().to_owned(),
-                            report: run.report,
+                // If even opening the store panics, the catch below turns
+                // the thread into a no-op and the None→WorkerLost mapping
+                // at the bottom covers anything it would have claimed.
+                let body = std::panic::AssertUnwindSafe(|| {
+                    let store = TreeStore::open(
+                        seed.device,
+                        seed.meta,
+                        seed.params,
+                        Rc::new(SimClock::new()),
+                    );
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((path, method)) = work.get(i) else {
+                            break;
+                        };
+                        let mut item_cfg = cfg;
+                        item_cfg.method = *method;
+                        let item = std::panic::AssertUnwindSafe(|| {
+                            execute_path_from(&store, path, vec![store.meta.root], &item_cfg).map(
+                                |run| ConcurrentRun {
+                                    nodes: run.nodes,
+                                    method: method.label().to_owned(),
+                                    report: run.report,
+                                },
+                            )
                         });
-                    if let Some(slot) = results.lock().get_mut(i) {
-                        *slot = Some(out);
+                        let out = match std::panic::catch_unwind(item) {
+                            Ok(out) => out,
+                            Err(_) => {
+                                // The item unwound mid-plan. Scrub the
+                                // engine state it may have left behind so
+                                // the next item starts clean, and charge
+                                // the loss to this slot only.
+                                store.buffer.drain_inflight();
+                                store.clear_io_error();
+                                Err(ExecError::WorkerLost { item: i })
+                            }
+                        };
+                        if let Some(slot) = results.lock().get_mut(i) {
+                            *slot = Some(out);
+                        }
                     }
-                }
+                });
+                let _ = std::panic::catch_unwind(body);
             });
         }
     });
 
     let mut runs = Vec::with_capacity(work.len());
     for (i, slot) in results.into_inner().into_iter().enumerate() {
-        match slot {
-            Some(Ok(run)) => runs.push(run),
-            Some(Err(e)) => return Err(e),
-            None => return Err(ExecError::WorkerLost { item: i }),
-        }
+        runs.push(slot.unwrap_or(Err(ExecError::WorkerLost { item: i })));
     }
 
     let mut report = ExecReport {
         method: "parallel".to_owned(),
         ..Default::default()
     };
-    for run in &runs {
+    for run in runs.iter().flatten() {
         report.absorb(&run.report);
     }
-    Ok(BatchRun { runs, report })
+    BatchRun { runs, report }
 }
 
 #[cfg(test)]
@@ -177,21 +210,27 @@ mod tests {
         ];
         let mut cfg = PlanConfig::new(Method::Simple);
         cfg.sort = true;
-        let batch =
-            execute_batch_parallel(seeds_for(&store, 3), &work, &cfg).expect("batch executes");
+        let batch = execute_batch_parallel(seeds_for(&store, 3), &work, &cfg);
         assert_eq!(batch.runs.len(), work.len());
+        assert_eq!(batch.failed(), 0);
         for (i, (path, method)) in work.iter().enumerate() {
             let mut item_cfg = cfg;
             item_cfg.method = *method;
             let seq =
                 crate::plan::execute_path_from(&store, path, vec![store.meta.root], &item_cfg)
                     .expect("sequential executes");
-            assert_eq!(batch.runs[i].nodes, seq.nodes, "item {i} diverged");
-            assert_eq!(batch.runs[i].method, method.label());
+            let run = batch.runs[i].as_ref().expect("item succeeds");
+            assert_eq!(run.nodes, seq.nodes, "item {i} diverged");
+            assert_eq!(run.method, method.label());
         }
         assert_eq!(
             batch.report.results,
-            batch.runs.iter().map(|r| r.nodes.len() as u64).sum::<u64>()
+            batch
+                .runs
+                .iter()
+                .flatten()
+                .map(|r| r.nodes.len() as u64)
+                .sum::<u64>()
         );
     }
 
@@ -201,10 +240,13 @@ mod tests {
         let store = mem_store(&doc, 256, Placement::Sequential);
         let work = vec![(parse_path("//email").unwrap(), Method::XScan)];
         let cfg = PlanConfig::new(Method::XScan);
-        let batch =
-            execute_batch_parallel(seeds_for(&store, 8), &work, &cfg).expect("batch executes");
+        let batch = execute_batch_parallel(seeds_for(&store, 8), &work, &cfg);
         assert_eq!(batch.runs.len(), 1);
-        assert!(!batch.runs[0].nodes.is_empty());
+        assert!(!batch.runs[0]
+            .as_ref()
+            .expect("item succeeds")
+            .nodes
+            .is_empty());
     }
 
     #[test]
@@ -212,9 +254,100 @@ mod tests {
         let doc = sample_doc();
         let store = mem_store(&doc, 256, Placement::Sequential);
         let batch =
-            execute_batch_parallel(seeds_for(&store, 2), &[], &PlanConfig::new(Method::XScan))
-                .expect("empty batch executes");
+            execute_batch_parallel(seeds_for(&store, 2), &[], &PlanConfig::new(Method::XScan));
         assert!(batch.runs.is_empty());
         assert_eq!(batch.report.results, 0);
+    }
+
+    /// Panics on the n-th `read_sync` (0-based), then behaves normally —
+    /// simulates a worker being lost mid-item.
+    struct PanicOnRead {
+        inner: Box<dyn Device + Send>,
+        panic_at: u64,
+        reads: u64,
+    }
+
+    impl Device for PanicOnRead {
+        fn num_pages(&self) -> u32 {
+            self.inner.num_pages()
+        }
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn read_sync(
+            &mut self,
+            page: pathix_storage::PageId,
+            clock: &SimClock,
+        ) -> Result<std::sync::Arc<[u8]>, pathix_storage::IoError> {
+            let n = self.reads;
+            self.reads += 1;
+            assert!(n != self.panic_at, "injected worker loss");
+            self.inner.read_sync(page, clock)
+        }
+        fn submit(&mut self, page: pathix_storage::PageId, clock: &SimClock) {
+            self.inner.submit(page, clock)
+        }
+        fn poll(&mut self, clock: &SimClock, block: bool) -> Option<pathix_storage::Completion> {
+            self.inner.poll(clock, block)
+        }
+        fn in_flight(&self) -> usize {
+            self.inner.in_flight()
+        }
+        fn append_page(&mut self, bytes: Vec<u8>) -> pathix_storage::PageId {
+            self.inner.append_page(bytes)
+        }
+        fn write_page(&mut self, page: pathix_storage::PageId, bytes: Vec<u8>) {
+            self.inner.write_page(page, bytes)
+        }
+        fn stats(&self) -> pathix_storage::DeviceStats {
+            self.inner.stats()
+        }
+        fn reset_stats(&mut self) {
+            self.inner.reset_stats()
+        }
+    }
+
+    #[test]
+    fn lost_worker_costs_exactly_one_item() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 7 });
+        // One worker whose device panics on its very first read: item 0 is
+        // lost, the worker recovers (scrubbed engine state) and runs the
+        // remaining items over the now-healthy device.
+        let fork = store
+            .buffer
+            .device_mut()
+            .try_fork()
+            .expect("MemDevice forks");
+        let seeds = vec![WorkerSeed {
+            device: Box::new(PanicOnRead {
+                inner: fork,
+                panic_at: 0,
+                reads: 0,
+            }),
+            meta: store.meta.clone(),
+            params: store.buffer.params(),
+        }];
+        let work = vec![
+            (parse_path("//item").unwrap(), Method::Simple),
+            (parse_path("//email").unwrap(), Method::Simple),
+        ];
+        let mut cfg = PlanConfig::new(Method::Simple);
+        cfg.sort = true;
+        let batch = execute_batch_parallel(seeds, &work, &cfg);
+        assert_eq!(batch.runs.len(), 2);
+        assert_eq!(batch.failed(), 1, "exactly the afflicted item fails");
+        assert!(
+            matches!(batch.runs[0], Err(ExecError::WorkerLost { item: 0 })),
+            "got {:?}",
+            batch.runs[0].as_ref().map(|r| &r.method)
+        );
+        let survivor = batch.runs[1].as_ref().expect("item 1 unaffected");
+        let mut item_cfg = cfg;
+        item_cfg.method = Method::Simple;
+        let seq =
+            crate::plan::execute_path_from(&store, &work[1].0, vec![store.meta.root], &item_cfg)
+                .expect("sequential executes");
+        assert_eq!(survivor.nodes, seq.nodes, "survivor result intact");
     }
 }

@@ -1,4 +1,4 @@
-//! The rule engine: per-file checks R1–R5 over the token stream.
+//! The rule engine: per-file checks R1–R6 over the token stream.
 //!
 //! Paths are workspace-relative with `/` separators; rules decide their
 //! applicability purely from the path, so fixtures can exercise any rule
@@ -14,7 +14,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule identifier (`R1`…`R5`).
+    /// Rule identifier (`R1`…`R6`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -39,6 +39,8 @@ const IO_OPERATOR_FILES: &[&str] = &["xschedule.rs", "xscan.rs", "unnest.rs"];
 const IO_IDENTS: &[&str] = &[
     "fix",
     "fix_any_prefetched",
+    "checked_fix",
+    "try_fix",
     "prefetch",
     "read_sync",
     "submit",
@@ -52,6 +54,21 @@ const IO_IDENTS: &[&str] = &[
     "SimDisk",
     "FileDevice",
 ];
+
+/// Fault-injection API (R6): faults are planted below the shared cache and
+/// must stay there. Only the storage layer, the database facade (which
+/// wires a [`FaultPlan`] under a fresh device), the bench chaos harness,
+/// and tests may name these types — query operators and the tree layer see
+/// faults exclusively as `checked_fix → None`.
+const FAULT_IDENTS: &[&str] = &["FaultDevice", "FaultPlan", "FaultRule", "FaultKind"];
+
+/// Files allowed to reference the fault-injection API (R6).
+fn in_fault_zone(path: &str) -> bool {
+    path.starts_with("crates/storage/")
+        || path.starts_with("crates/bench/")
+        || path == "src/db.rs"
+        || path == "src/lib.rs"
+}
 
 /// Identifiers that indicate threading primitives (R5). `Atomic`-prefixed
 /// identifiers (`AtomicU64`, `AtomicUsize`, …) are matched by prefix.
@@ -164,6 +181,9 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let r3_applies = in_panic_free_zone(rel_path);
     let r4_pi_applies = rel_path != "crates/core/src/instance.rs";
     let r5_applies = !in_concurrency_zone(rel_path);
+    let r6_fault_applies = !in_fault_zone(rel_path);
+    let r6_ioerr_applies = !rel_path.starts_with("crates/storage/");
+    let r6_exec_applies = rel_path.starts_with("crates/core/src/ops/");
     let own_crate = crate_of_path(rel_path);
 
     for (i, st) in toks.iter().enumerate() {
@@ -259,6 +279,52 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                              (storage, core/src/server.rs, bench); the operator hot \
                              path stays single-threaded"
                         ),
+                    });
+                }
+                // R6: fault-injection API confinement.
+                if r6_fault_applies && !is_test(i) && FAULT_IDENTS.contains(&id.as_str()) {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R6",
+                        message: format!(
+                            "fault-injection type `{id}` outside the fault zone \
+                             (storage, src/db.rs, src/lib.rs, bench, tests); faults \
+                             are planted below the shared cache only"
+                        ),
+                    });
+                }
+                // R6: `IoError` may only be *constructed* by the storage
+                // layer (device/buffer stack); everyone else consumes it.
+                // `-> IoError {` and `impl IoError {` are not literals.
+                if r6_ioerr_applies
+                    && !is_test(i)
+                    && id == "IoError"
+                    && next_is(toks, i, '{')
+                    && !prev_is(toks, i, '>')
+                    && !prev_is_ident(toks, i, &["impl", "for", "dyn"])
+                {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R6",
+                        message: "IoError built outside the storage layer; only the \
+                                  device/buffer stack originates I/O errors"
+                            .to_owned(),
+                    });
+                }
+                // R6: operators have no error channel — failures travel via
+                // `TreeStore::checked_fix → None` plus the store-recorded
+                // error, never as `ExecError` values inside ops/.
+                if r6_exec_applies && !is_test(i) && id == "ExecError" {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R6",
+                        message: "`ExecError` referenced inside an operator; operators \
+                                  wind down on checked_fix() == None and the executor \
+                                  surfaces the store-recorded error"
+                            .to_owned(),
                     });
                 }
                 // R4: Pi struct literals outside instance.rs. `-> Pi {`
@@ -458,6 +524,47 @@ mod tests {
         assert!(rules_of("crates/core/src/server.rs", src).is_empty());
         assert!(rules_of("crates/bench/src/scaling.rs", src).is_empty());
         assert!(rules_of("crates/core/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fault_api_confinement() {
+        let src = "use pathix_storage::FaultPlan;\nfn f() { let _ = FaultPlan::none(); }";
+        // Operators and the tree layer must not name the fault API.
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).contains(&"R6"));
+        assert!(rules_of("crates/tree/src/store.rs", src).contains(&"R6"));
+        // The fault zone and tests are allowed.
+        assert!(!rules_of("crates/storage/src/fault.rs", src).contains(&"R6"));
+        assert!(!rules_of("src/db.rs", src).contains(&"R6"));
+        assert!(!rules_of("src/lib.rs", src).contains(&"R6"));
+        assert!(!rules_of("crates/bench/src/chaos.rs", src).contains(&"R6"));
+        assert!(!rules_of("tests/fault_injection.rs", src).contains(&"R6"));
+    }
+
+    #[test]
+    fn io_error_construction_confinement() {
+        let build = "fn f() -> IoError { IoError { page: 0, attempts: 1 } }";
+        let diags = rules_of("crates/core/src/server.rs", build);
+        // Exactly one R6: the literal, not the return type.
+        assert_eq!(diags.iter().filter(|r| **r == "R6").count(), 1);
+        // The storage layer constructs freely; consumers may name the type.
+        assert!(!rules_of("crates/storage/src/buffer.rs", build).contains(&"R6"));
+        let consume = "fn f(e: IoError) -> u32 { e.page }";
+        assert!(!rules_of("crates/core/src/server.rs", consume).contains(&"R6"));
+    }
+
+    #[test]
+    fn operators_have_no_error_channel() {
+        let src = "fn f() -> ExecError { ExecError::Io { page: 0, attempts: 1 } }";
+        assert!(rules_of("crates/core/src/ops/xscan.rs", src).contains(&"R6"));
+        // Executors outside ops/ own the error channel.
+        assert!(!rules_of("crates/core/src/exec.rs", src).contains(&"R6"));
+    }
+
+    #[test]
+    fn checked_fix_is_io() {
+        let src = "fn f(cx: &C) { let _ = cx.store.checked_fix(p); }";
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).contains(&"R1"));
+        assert!(!rules_of("crates/core/src/ops/xscan.rs", src).contains(&"R1"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Golden fixtures: for every rule R1–R5, one snippet that must trip the
+//! Golden fixtures: for every rule R1–R6, one snippet that must trip the
 //! checker and one compliant twin that must pass — plus a self-check that
 //! the real workspace is clean.
 
@@ -254,6 +254,91 @@ fn r5_good_threading_in_concurrency_zone() {
     assert!(rules_of("crates/bench/src/scaling.rs", src).is_empty());
     // Test code anywhere is exempt.
     assert!(rules_of("tests/parallel_batch.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R6 ---
+
+#[test]
+fn r6_bad_fault_api_in_operator() {
+    let src = r#"
+        use pathix_storage::{FaultKind, FaultPlan};
+        fn sabotage() -> FaultPlan {
+            FaultPlan::new(1, vec![])
+        }
+    "#;
+    let diags = check_source("crates/core/src/ops/xscan.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R6" && d.line == 2));
+    assert!(diags.iter().any(|d| d.rule == "R6" && d.line == 3));
+    assert!(diags.iter().any(|d| d.rule == "R6" && d.line == 4));
+}
+
+#[test]
+fn r6_good_fault_api_in_fault_zone() {
+    let src = r#"
+        use pathix_storage::{FaultKind, FaultPlan, FaultRule};
+        fn plan() -> FaultPlan {
+            FaultPlan::new(1, vec![FaultRule::new(None, FaultKind::TransientRead)])
+        }
+    "#;
+    for path in [
+        "crates/storage/src/fault.rs",
+        "src/db.rs",
+        "src/lib.rs",
+        "crates/bench/src/chaos.rs",
+        "tests/fault_injection.rs",
+    ] {
+        assert!(
+            !rules_of(path, src).contains(&"R6"),
+            "fault zone path {path} flagged"
+        );
+    }
+}
+
+#[test]
+fn r6_bad_io_error_literal_outside_storage() {
+    let src = r#"
+        fn fabricate() -> IoError {
+            IoError { page: 7, attempts: 1 }
+        }
+    "#;
+    let diags = check_source("crates/core/src/server.rs", src);
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.rule == "R6")
+            .map(|d| d.line)
+            .collect::<Vec<_>>(),
+        vec![3],
+        "only the literal trips, not the return type: {diags:?}"
+    );
+}
+
+#[test]
+fn r6_good_io_error_consumed_outside_storage() {
+    // Consuming an error (matching, field access, type position) is fine;
+    // the storage layer may construct freely.
+    let consume = r#"
+        fn surface(e: IoError) -> (u32, u32) {
+            (e.page, e.attempts)
+        }
+    "#;
+    assert!(!rules_of("crates/core/src/server.rs", consume).contains(&"R6"));
+    let build = "fn mk() -> IoError { IoError { page: 0, attempts: 1 } }";
+    assert!(!rules_of("crates/storage/src/device.rs", build).contains(&"R6"));
+}
+
+#[test]
+fn r6_bad_exec_error_inside_operator() {
+    let src = "fn f() -> ExecError { ExecError::WorkerLost { item: 0 } }";
+    let diags = check_source("crates/core/src/ops/unnest.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R6"));
+}
+
+#[test]
+fn r6_good_exec_error_in_executor_and_tests() {
+    let src = "fn f() -> ExecError { ExecError::WorkerLost { item: 0 } }";
+    assert!(!rules_of("crates/core/src/exec.rs", src).contains(&"R6"));
+    assert!(!rules_of("crates/core/tests/containment.rs", src).contains(&"R6"));
 }
 
 // ------------------------------------------------------- self-check ---

@@ -11,13 +11,52 @@
 //! direct pointers between `XStep` operators. Callers hold a decoded page as
 //! an `Arc`, which doubles as the pin: frames with outstanding references are
 //! never evicted. Eviction uses the CLOCK (second chance) policy.
+//!
+//! The buffer is also where I/O faults are **absorbed or surfaced**: every
+//! page image is checksum-verified before it is decoded, and failed reads go
+//! through a bounded, deterministic [`RetryPolicy`] (exponential sim-clock
+//! backoff). Transient errors heal invisibly — the only trace is
+//! [`DeviceStats::retries`] — while permanent errors (or an exhausted
+//! attempt budget) surface from [`BufferManager::try_fix`] as a typed
+//! [`IoError`] carrying the final attempt count.
 
+use crate::checksum::verify_page;
 use crate::clock::SimClock;
-use crate::device::{Device, DeviceStats, PageId};
+use crate::device::{Device, DeviceStats, IoError, IoErrorKind, PageId};
 use std::cell::{Cell, RefCell, RefMut};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// Bounded retry with deterministic exponential backoff, applied by the
+/// buffer manager to retryable read failures (transient errors and checksum
+/// mismatches).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total read attempts per fix (first try included). `1` disables
+    /// retrying.
+    pub max_attempts: u32,
+    /// Simulated backoff before retry `n` is `backoff_base_ns << (n - 1)`
+    /// (doubling), charged to the clock as I/O wait.
+    pub backoff_base_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base_ns: 200_000, // 0.2 ms, ~1.4 ms total over 3 retries
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before attempt `next_attempt` (2-based; attempt 1 is
+    /// the initial try and never waits).
+    fn backoff_ns(&self, next_attempt: u32) -> u64 {
+        self.backoff_base_ns << (next_attempt.saturating_sub(2)).min(16)
+    }
+}
 
 /// Turns raw page bytes into the cached in-memory representation.
 pub trait PageDecoder<T> {
@@ -203,10 +242,14 @@ pub struct BufferManager<T, D> {
     device: RefCell<Box<dyn Device>>,
     decoder: D,
     params: Cell<BufferParams>,
+    retry: Cell<RetryPolicy>,
     frames: RefCell<FrameTable<T>>,
     submitted: RefCell<HashSet<PageId>>,
     clock: Rc<SimClock>,
     stats: RefCell<BufferStats>,
+    /// Read retries performed by [`Self::try_fix`]; folded into
+    /// [`DeviceStats::retries`] by [`Self::device_stats`].
+    retries: Cell<u64>,
 }
 
 impl<T, D: PageDecoder<T>> BufferManager<T, D> {
@@ -221,11 +264,23 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
             device: RefCell::new(device),
             decoder,
             params: Cell::new(params),
+            retry: Cell::new(RetryPolicy::default()),
             frames: RefCell::new(FrameTable::new()),
             submitted: RefCell::new(HashSet::new()),
             clock,
             stats: RefCell::new(BufferStats::default()),
+            retries: Cell::new(0),
         }
+    }
+
+    /// Current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.get()
+    }
+
+    /// Replaces the retry policy.
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        self.retry.set(retry);
     }
 
     /// The shared clock.
@@ -262,9 +317,26 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
 
     /// Fixes a page, loading and decoding it if necessary.
     ///
-    /// If the page was prefetched, blocks only until its asynchronous read
-    /// completes (absorbing other completions along the way).
+    /// Infallible wrapper over [`Self::try_fix`] for contexts with no error
+    /// channel (database construction, export, tests): an unrecoverable
+    /// read error becomes a panic. The query path uses
+    /// `TreeStore::checked_fix`, which routes errors into `ExecError::Io`.
     pub fn fix(&self, page: PageId) -> Arc<T> {
+        match self.try_fix(page) {
+            Ok(data) => data,
+            // lint:allow(infallible wrapper; the query hot path uses try_fix via TreeStore::checked_fix)
+            Err(e) => panic!("unrecoverable I/O error: {e}"),
+        }
+    }
+
+    /// Fixes a page, loading and decoding it if necessary.
+    ///
+    /// If the page was prefetched, blocks only until its asynchronous read
+    /// completes (absorbing other completions along the way). Failed reads
+    /// are retried per the [`RetryPolicy`]; a permanent error or an
+    /// exhausted attempt budget is returned as [`IoError`] with the final
+    /// attempt count filled in.
+    pub fn try_fix(&self, page: PageId) -> Result<Arc<T>, IoError> {
         let p = self.params.get();
         self.clock.charge_cpu(p.fix_hit_ns);
         {
@@ -273,9 +345,11 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
         }
         if let Some(data) = self.frames.borrow_mut().get(page) {
             self.stats.borrow_mut().hits += 1;
-            return data;
+            return Ok(data);
         }
-        // Was it prefetched? Then drain completions until it arrives.
+        // Was it prefetched? Then drain completions until it arrives. A
+        // failed or torn completion (for this or any other page) is dropped
+        // here and the read falls through to the synchronous retry path.
         if self.submitted.borrow().contains(&page) {
             loop {
                 let Some(c) = self.device.borrow_mut().poll(&self.clock, true) else {
@@ -286,20 +360,58 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
                     break;
                 };
                 let done = c.page == page;
-                let data = self.install_completion(c.page, &c.bytes);
-                if done {
-                    self.stats.borrow_mut().misses += 1;
-                    return data;
+                match c.result {
+                    Ok(bytes) if verify_page(&bytes) => {
+                        let data = self.install_completion(c.page, &bytes);
+                        if done {
+                            self.stats.borrow_mut().misses += 1;
+                            return Ok(data);
+                        }
+                    }
+                    _ => {
+                        self.submitted.borrow_mut().remove(&c.page);
+                        if done {
+                            break; // retry synchronously below
+                        }
+                    }
                 }
             }
         }
-        // Cold miss: synchronous read.
+        // Cold miss: synchronous read with bounded retry.
         self.stats.borrow_mut().misses += 1;
         self.clock.charge_cpu(p.miss_overhead_ns);
-        let bytes = self.device.borrow_mut().read_sync(page, &self.clock);
+        let retry = self.retry.get();
+        let mut attempt = 1u32;
+        let bytes = loop {
+            let outcome = self
+                .device
+                .borrow_mut()
+                .read_sync(page, &self.clock)
+                .and_then(|bytes| {
+                    if verify_page(&bytes) {
+                        Ok(bytes)
+                    } else {
+                        Err(IoError::new(page, IoErrorKind::Corrupt))
+                    }
+                });
+            match outcome {
+                Ok(bytes) => break bytes,
+                Err(mut e) => {
+                    if e.retryable() && attempt < retry.max_attempts {
+                        attempt += 1;
+                        self.retries.set(self.retries.get() + 1);
+                        self.clock
+                            .wait_until(self.clock.now_ns() + retry.backoff_ns(attempt));
+                    } else {
+                        e.attempts = attempt;
+                        return Err(e);
+                    }
+                }
+            }
+        };
         let data = Arc::new(self.decoder.decode(page, &bytes, &self.clock));
         self.insert(page, Arc::clone(&data));
-        data
+        Ok(data)
     }
 
     /// Submits an asynchronous read for `page` unless it is already resident
@@ -314,12 +426,25 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
     }
 
     /// Retrieves one prefetched page that has completed, decoding and caching
-    /// it. With `block = true` waits for a completion; returns `None` only
-    /// when nothing is in flight.
+    /// it. With `block = true` waits for a completion; returns `None` when
+    /// nothing (further) is in flight.
+    ///
+    /// Failed or torn completions are dropped, not installed: the page is
+    /// simply no longer in flight, and the eventual demand fix re-reads it
+    /// through the retry path.
     pub fn fix_any_prefetched(&self, block: bool) -> Option<(PageId, Arc<T>)> {
-        let c = self.device.borrow_mut().poll(&self.clock, block)?;
-        let data = self.install_completion(c.page, &c.bytes);
-        Some((c.page, data))
+        loop {
+            let c = self.device.borrow_mut().poll(&self.clock, block)?;
+            match c.result {
+                Ok(bytes) if verify_page(&bytes) => {
+                    let data = self.install_completion(c.page, &bytes);
+                    return Some((c.page, data));
+                }
+                _ => {
+                    self.submitted.borrow_mut().remove(&c.page);
+                }
+            }
+        }
     }
 
     /// Number of prefetches still in flight.
@@ -394,19 +519,37 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
         *self.stats.borrow()
     }
 
-    /// Device statistics.
+    /// Device statistics, with the buffer's retry count folded in.
     pub fn device_stats(&self) -> DeviceStats {
-        self.device.borrow().stats()
+        let mut stats = self.device.borrow().stats();
+        stats.retries += self.retries.get();
+        stats
+    }
+
+    /// Resets device statistics together with the buffer's retry counter.
+    pub fn reset_device_stats(&self) {
+        self.device.borrow_mut().reset_stats();
+        self.retries.set(0);
+    }
+
+    /// Drains every in-flight request, discarding the completions, and
+    /// forgets all submission records. Used when a plan aborts on an I/O
+    /// error: the schedule queue must be empty before the executor returns,
+    /// so no completion is left to confuse a later run.
+    pub fn drain_inflight(&self) {
+        while self.in_flight() > 0 {
+            if self.device.borrow_mut().poll(&self.clock, true).is_none() {
+                break;
+            }
+        }
+        self.submitted.borrow_mut().clear();
     }
 
     /// Clears the cache and resets buffer statistics (device stats are left
-    /// untouched; use [`Self::device_mut`] for those). Pending prefetches are
-    /// drained and discarded.
+    /// untouched; use [`Self::reset_device_stats`] for those). Pending
+    /// prefetches are drained and discarded.
     pub fn reset(&self) {
-        while self.in_flight() > 0 {
-            let _ = self.device.borrow_mut().poll(&self.clock, true);
-        }
-        self.submitted.borrow_mut().clear();
+        self.drain_inflight();
         self.frames.borrow_mut().clear();
         *self.stats.borrow_mut() = BufferStats::default();
     }
@@ -414,7 +557,12 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
+    use crate::checksum::seal_page;
+    use crate::fault::{FaultDevice, FaultKind, FaultPlan, FaultRule};
     use crate::mem_device::MemDevice;
     use crate::sim_disk::{DiskProfile, SimDisk};
 
@@ -592,6 +740,83 @@ mod tests {
         let d = b.device_stats();
         assert!(d.reads >= 3);
         assert_eq!(d.page_copies, 0, "a read must never copy a page image");
+    }
+
+    fn faulty_buffer(rules: Vec<FaultRule>) -> BufferManager<u8, FirstByte> {
+        let mut dev = MemDevice::new(32);
+        for i in 0..6u8 {
+            let mut page = vec![i; 32];
+            seal_page(&mut page);
+            dev.append_page(page);
+        }
+        let faulty = FaultDevice::new(dev, FaultPlan::new(0xFA11, rules));
+        BufferManager::new(
+            Box::new(faulty),
+            FirstByte,
+            BufferParams::default(),
+            Rc::new(SimClock::new()),
+        )
+    }
+
+    #[test]
+    fn transient_faults_heal_via_retry() {
+        let b = faulty_buffer(vec![
+            FaultRule::new(Some(2), FaultKind::TransientRead).times(2)
+        ]);
+        let t0 = b.clock().now_ns();
+        assert_eq!(*b.try_fix(2).unwrap(), 2, "retry must absorb the fault");
+        assert_eq!(b.device_stats().retries, 2);
+        assert!(b.clock().now_ns() > t0, "backoff charged to the clock");
+        // Healed page is cached: no further device traffic.
+        assert_eq!(*b.try_fix(2).unwrap(), 2);
+        assert_eq!(b.device_stats().retries, 2);
+    }
+
+    #[test]
+    fn permanent_faults_surface_without_retry() {
+        let b = faulty_buffer(vec![
+            FaultRule::new(Some(1), FaultKind::PermanentRead).times(u32::MAX)
+        ]);
+        let e = b.try_fix(1).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::Permanent);
+        assert_eq!(e.attempts, 1, "permanent errors are never retried");
+        assert_eq!(b.device_stats().retries, 0);
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_attempts() {
+        let b = faulty_buffer(vec![
+            FaultRule::new(Some(3), FaultKind::CorruptRead).times(u32::MAX)
+        ]);
+        let e = b.try_fix(3).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::Corrupt);
+        assert_eq!(e.attempts, RetryPolicy::default().max_attempts);
+        assert_eq!(
+            b.device_stats().retries,
+            (RetryPolicy::default().max_attempts - 1) as u64
+        );
+        assert!(!b.is_resident(3), "corrupt image must never be decoded");
+    }
+
+    #[test]
+    fn failed_prefetch_completion_is_dropped_then_refetched() {
+        let b = faulty_buffer(vec![FaultRule::new(Some(4), FaultKind::TransientRead)]);
+        b.prefetch(4);
+        // The async completion carries the transient error; the demand fix
+        // drops it and heals through the synchronous retry path.
+        assert_eq!(*b.try_fix(4).unwrap(), 4);
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_inflight_discards_pending_reads() {
+        let b = mk_buffer(8, 4);
+        b.prefetch(1);
+        b.prefetch(5);
+        b.drain_inflight();
+        assert_eq!(b.in_flight(), 0);
+        assert!(!b.is_resident(1), "drained completions are not installed");
+        assert_eq!(*b.fix(1), 1);
     }
 
     #[test]

@@ -7,8 +7,15 @@
 //! knowledge. [`Device::submit`] / [`Device::poll`] model that interface:
 //! the caller queues any number of page requests and retrieves completions
 //! in whatever order the device found cheapest.
+//!
+//! Reads can **fail**: both [`Device::read_sync`] and [`Completion`] carry
+//! a `Result`, so an unreadable page surfaces as a typed [`IoError`] value
+//! instead of a panic. The simulated and in-memory devices are infallible
+//! by construction; errors are introduced by the [`crate::fault`] decorator
+//! (and, above the device, by checksum verification of page images).
 
 use crate::clock::SimClock;
+use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a physical page on a device. Pages are numbered from zero in
@@ -16,17 +23,102 @@ use std::sync::Arc;
 /// for seek distance.
 pub type PageId = u32;
 
+/// How a page read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoErrorKind {
+    /// The read failed but a retry may succeed (bus hiccup, dropped
+    /// command). Absorbed by the buffer manager's retry policy.
+    Transient,
+    /// The read fails deterministically (bad sector). Never retried.
+    Permanent,
+    /// The page was read but its image failed checksum verification
+    /// (torn write, bit rot). Retried — a transient corruption heals,
+    /// persistent corruption exhausts the attempt budget.
+    Corrupt,
+}
+
+impl fmt::Display for IoErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoErrorKind::Transient => write!(f, "transient read error"),
+            IoErrorKind::Permanent => write!(f, "permanent read error"),
+            IoErrorKind::Corrupt => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+/// A failed page read, as a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError {
+    /// The page whose read failed.
+    pub page: PageId,
+    /// Failure class (drives the retry decision).
+    pub kind: IoErrorKind,
+    /// Read attempts made when the error was surfaced. Devices report `1`;
+    /// the buffer manager's retry loop overwrites it with the final count.
+    pub attempts: u32,
+}
+
+impl IoError {
+    /// A single-attempt device-level error.
+    pub fn new(page: PageId, kind: IoErrorKind) -> Self {
+        Self {
+            page,
+            kind,
+            attempts: 1,
+        }
+    }
+
+    /// True if a retry of the read is allowed to succeed.
+    pub fn retryable(&self) -> bool {
+        self.kind != IoErrorKind::Permanent
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "page {}: {} after {} attempt(s)",
+            self.page, self.kind, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for IoError {}
+
 /// A completed asynchronous read.
 #[derive(Debug, Clone)]
 pub struct Completion {
     /// The page that was read.
     pub page: PageId,
-    /// Raw page bytes, shared with the device's own page store — cloning a
-    /// `Completion` (or handing it to the buffer manager) bumps a reference
-    /// count, it never copies the page image.
-    pub bytes: Arc<[u8]>,
-    /// Simulated time at which the device finished the read.
+    /// Raw page bytes on success, shared with the device's own page store —
+    /// cloning a `Completion` (or handing it to the buffer manager) bumps a
+    /// reference count, it never copies the page image. On failure, the
+    /// error describing why the page is unreadable.
+    pub result: Result<Arc<[u8]>, IoError>,
+    /// Simulated time at which the device finished (or failed) the read.
     pub finished_at_ns: u64,
+}
+
+impl Completion {
+    /// A successful completion.
+    pub fn ok(page: PageId, bytes: Arc<[u8]>, finished_at_ns: u64) -> Self {
+        Self {
+            page,
+            result: Ok(bytes),
+            finished_at_ns,
+        }
+    }
+
+    /// A failed completion.
+    pub fn err(page: PageId, error: IoError, finished_at_ns: u64) -> Self {
+        Self {
+            page,
+            result: Err(error),
+            finished_at_ns,
+        }
+    }
 }
 
 /// Cumulative device statistics.
@@ -47,6 +139,10 @@ pub struct DeviceStats {
     /// reference (`Arc` clone) and keep this at zero; real file-backed
     /// devices necessarily copy once per read from the kernel.
     pub page_copies: u64,
+    /// Read retries performed above the device by the buffer manager's
+    /// retry policy (devices themselves report 0; the buffer folds its
+    /// count in via `BufferManager::device_stats`).
+    pub retries: u64,
 }
 
 impl DeviceStats {
@@ -73,8 +169,9 @@ pub trait Device {
 
     /// Reads a page synchronously, blocking the clock for the access cost.
     /// The returned bytes are shared with the device where possible
-    /// (`&Arc<[u8]>` deref-coerces to `&[u8]` at call sites).
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]>;
+    /// (`&Arc<[u8]>` deref-coerces to `&[u8]` at call sites). Fails with a
+    /// typed [`IoError`] when the page is unreadable.
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError>;
 
     /// Submits an asynchronous read request. The device may serve queued
     /// requests in any order.
@@ -85,7 +182,9 @@ pub trait Device {
     /// With `block = true`, waits (advancing the clock) until a request
     /// completes; returns `None` only if no requests are pending.
     /// With `block = false`, returns `None` if nothing has completed by the
-    /// current simulated time.
+    /// current simulated time. A failed read still produces a
+    /// [`Completion`] (carrying the error), so submitted requests are
+    /// never silently lost.
     fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion>;
 
     /// Number of submitted but not yet retrieved requests (pending plus
@@ -124,6 +223,63 @@ pub trait Device {
     }
 }
 
+/// Boxed trait objects are devices too, so decorators generic over
+/// `D: Device` (e.g. [`crate::fault::FaultDevice`]) can wrap the boxed
+/// forks returned by [`Device::try_fork`].
+impl Device for Box<dyn Device + Send> {
+    fn num_pages(&self) -> u32 {
+        (**self).num_pages()
+    }
+
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
+        (**self).read_sync(page, clock)
+    }
+
+    fn submit(&mut self, page: PageId, clock: &SimClock) {
+        (**self).submit(page, clock);
+    }
+
+    fn poll(&mut self, clock: &SimClock, block: bool) -> Option<Completion> {
+        (**self).poll(clock, block)
+    }
+
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+
+    fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
+        (**self).append_page(bytes)
+    }
+
+    fn write_page(&mut self, page: PageId, bytes: Vec<u8>) {
+        (**self).write_page(page, bytes);
+    }
+
+    fn stats(&self) -> DeviceStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats();
+    }
+
+    fn access_trace(&self) -> &[PageId] {
+        (**self).access_trace()
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        (**self).set_trace(enabled);
+    }
+
+    fn try_fork(&self) -> Option<Box<dyn Device + Send>> {
+        (**self).try_fork()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +298,26 @@ mod tests {
             ..Default::default()
         };
         assert!((s.sequential_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_error_display_and_retryability() {
+        let e = IoError::new(7, IoErrorKind::Transient);
+        assert!(e.retryable());
+        assert!(e.to_string().contains("page 7"));
+        let p = IoError::new(3, IoErrorKind::Permanent);
+        assert!(!p.retryable());
+        let c = IoError::new(9, IoErrorKind::Corrupt);
+        assert!(c.retryable());
+        assert!(c.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn completion_constructors() {
+        let bytes: Arc<[u8]> = Arc::from(vec![1u8, 2]);
+        let ok = Completion::ok(1, Arc::clone(&bytes), 5);
+        assert!(ok.result.is_ok());
+        let err = Completion::err(2, IoError::new(2, IoErrorKind::Permanent), 6);
+        assert_eq!(err.result, Err(IoError::new(2, IoErrorKind::Permanent)));
     }
 }

@@ -13,7 +13,7 @@
 //! benchmarks therefore default to [`crate::SimDisk`].
 
 use crate::clock::SimClock;
-use crate::device::{Completion, Device, DeviceStats, PageId};
+use crate::device::{Completion, Device, DeviceStats, IoError, IoErrorKind, PageId};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 #[cfg(not(unix))]
@@ -31,7 +31,7 @@ enum Job {
 
 struct Pool {
     job_tx: Sender<Job>,
-    done_rx: Receiver<(PageId, Vec<u8>)>,
+    done_rx: Receiver<(PageId, Option<Vec<u8>>)>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -76,7 +76,7 @@ impl FileDevice {
 
     fn spawn_pool(&mut self, workers: usize) -> std::io::Result<()> {
         let (job_tx, job_rx) = channel::<Job>();
-        let (done_tx, done_rx) = channel::<(PageId, Vec<u8>)>();
+        let (done_tx, done_rx) = channel::<(PageId, Option<Vec<u8>>)>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -90,7 +90,10 @@ impl FileDevice {
                     Ok(Job::Read(page)) => {
                         let mut buf = vec![0u8; page_size];
                         let got = read_at(&file, &mut buf, page as u64 * page_size as u64);
-                        if got.is_ok() && tx.send((page, buf)).is_ok() {
+                        // A failed read still reports a completion (with no
+                        // bytes) so the request is not silently lost.
+                        let payload = if got.is_ok() { Some(buf) } else { None };
+                        if tx.send((page, payload)).is_ok() {
                             continue;
                         }
                         break;
@@ -165,19 +168,22 @@ impl Device for FileDevice {
         self.page_size
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
         assert!(page < self.num_pages, "page {page} out of range");
         let start = Instant::now();
         let mut buf = vec![0u8; self.page_size];
-        read_at(&self.file, &mut buf, page as u64 * self.page_size as u64)
-            .expect("file device read failed");
+        let got = read_at(&self.file, &mut buf, page as u64 * self.page_size as u64);
         let elapsed = start.elapsed().as_nanos() as u64;
         self.account(page, elapsed);
+        clock.wait_until(clock.now_ns() + elapsed);
+        if got.is_err() {
+            // The kernel rejected the read; a bad sector stays bad.
+            return Err(IoError::new(page, IoErrorKind::Permanent));
+        }
         // Real I/O materializes a fresh buffer from the kernel — the one
         // unavoidable page copy on this backend.
         self.stats.page_copies += 1;
-        clock.wait_until(clock.now_ns() + elapsed);
-        Arc::from(buf)
+        Ok(Arc::from(buf))
     }
 
     fn submit(&mut self, page: PageId, _clock: &SimClock) {
@@ -202,13 +208,18 @@ impl Device for FileDevice {
         let elapsed = start.elapsed().as_nanos() as u64;
         self.in_flight -= 1;
         self.account(page, elapsed);
-        self.stats.page_copies += 1;
         clock.wait_until(clock.now_ns() + elapsed);
-        Some(Completion {
-            page,
-            bytes: Arc::from(bytes),
-            finished_at_ns: clock.now_ns(),
-        })
+        match bytes {
+            Some(b) => {
+                self.stats.page_copies += 1;
+                Some(Completion::ok(page, Arc::from(b), clock.now_ns()))
+            }
+            None => Some(Completion::err(
+                page,
+                IoError::new(page, IoErrorKind::Permanent),
+                clock.now_ns(),
+            )),
+        }
     }
 
     fn in_flight(&self) -> usize {
@@ -284,8 +295,8 @@ mod tests {
         let a = d.append_page(vec![7; 10]);
         let b = d.append_page(vec![9; 10]);
         let clock = SimClock::new();
-        assert_eq!(d.read_sync(a, &clock)[0], 7);
-        assert_eq!(d.read_sync(b, &clock)[5], 9);
+        assert_eq!(d.read_sync(a, &clock).unwrap()[0], 7);
+        assert_eq!(d.read_sync(b, &clock).unwrap()[5], 9);
         assert_eq!(d.num_pages(), 2);
         drop(d);
         let _ = std::fs::remove_file(&path);
@@ -304,7 +315,7 @@ mod tests {
         }
         let mut seen = std::collections::BTreeSet::new();
         while let Some(c) = d.poll(&clock, true) {
-            assert_eq!(c.bytes[0] as u32, c.page);
+            assert_eq!(c.result.unwrap()[0] as u32, c.page);
             seen.insert(c.page);
         }
         assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 5, 7]);
@@ -323,7 +334,7 @@ mod tests {
         let mut d = FileDevice::open(&path, 16, 1).unwrap();
         assert_eq!(d.num_pages(), 2);
         let clock = SimClock::new();
-        assert_eq!(d.read_sync(1, &clock)[0], 43);
+        assert_eq!(d.read_sync(1, &clock).unwrap()[0], 43);
         drop(d);
         let _ = std::fs::remove_file(&path);
     }

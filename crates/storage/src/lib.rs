@@ -25,8 +25,10 @@
 //! regenerated.
 
 pub mod buffer;
+pub mod checksum;
 pub mod clock;
 pub mod device;
+pub mod fault;
 pub mod file_device;
 pub mod mem_device;
 pub mod shared_cache;
@@ -34,12 +36,16 @@ pub mod sim_disk;
 pub mod slotted;
 pub mod wal;
 
-pub use buffer::{BufferManager, BufferParams, BufferStats, PageDecoder};
+pub use buffer::{BufferManager, BufferParams, BufferStats, PageDecoder, RetryPolicy};
+pub use checksum::{crc32, is_sealed, seal_page, verify_page, CHECKSUM_LEN};
 pub use clock::{SimClock, TimeBreakdown};
-pub use device::{Completion, Device, DeviceStats, PageId};
+pub use device::{Completion, Device, DeviceStats, IoError, IoErrorKind, PageId};
+pub use fault::{FaultDevice, FaultKind, FaultPlan, FaultRule, FaultStats};
 pub use file_device::FileDevice;
 pub use mem_device::MemDevice;
 pub use shared_cache::{SharedCacheDevice, SharedPageCache, SharedPageCacheStats};
 pub use sim_disk::{DiskProfile, QueuePolicy, SimDisk};
 pub use slotted::{SlottedPageBuilder, SlottedPageReader};
-pub use wal::{recover, Lsn, SnapshotDevice, SnapshotHandle, WalRecord, WriteAheadLog};
+pub use wal::{
+    recover, Lsn, RecoveryReport, SnapshotDevice, SnapshotHandle, WalRecord, WriteAheadLog,
+};

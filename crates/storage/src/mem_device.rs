@@ -3,7 +3,7 @@
 //! irrelevant.
 
 use crate::clock::SimClock;
-use crate::device::{Completion, Device, DeviceStats, PageId};
+use crate::device::{Completion, Device, DeviceStats, IoError, PageId};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -59,9 +59,9 @@ impl Device for MemDevice {
         self.page_size
     }
 
-    fn read_sync(&mut self, page: PageId, _clock: &SimClock) -> Arc<[u8]> {
+    fn read_sync(&mut self, page: PageId, _clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
         self.account(page);
-        Arc::clone(&self.pages[page as usize])
+        Ok(Arc::clone(&self.pages[page as usize]))
     }
 
     fn submit(&mut self, page: PageId, _clock: &SimClock) {
@@ -75,11 +75,11 @@ impl Device for MemDevice {
     fn poll(&mut self, clock: &SimClock, _block: bool) -> Option<Completion> {
         let page = self.queued.pop_front()?;
         self.account(page);
-        Some(Completion {
+        Some(Completion::ok(
             page,
-            bytes: Arc::clone(&self.pages[page as usize]),
-            finished_at_ns: clock.now_ns(),
-        })
+            Arc::clone(&self.pages[page as usize]),
+            clock.now_ns(),
+        ))
     }
 
     fn in_flight(&self) -> usize {
@@ -146,8 +146,8 @@ mod tests {
         let a = d.append_page(vec![1, 2]);
         let b = d.append_page(vec![3]);
         let clock = SimClock::new();
-        assert_eq!(&d.read_sync(a, &clock)[..2], &[1, 2]);
-        assert_eq!(d.read_sync(b, &clock)[0], 3);
+        assert_eq!(&d.read_sync(a, &clock).unwrap()[..2], &[1, 2]);
+        assert_eq!(d.read_sync(b, &clock).unwrap()[0], 3);
         assert_eq!(clock.now_ns(), 0);
         assert_eq!(d.stats().reads, 2);
     }
@@ -174,9 +174,9 @@ mod tests {
             d.append_page(vec![i]);
         }
         let clock = SimClock::new();
-        d.read_sync(0, &clock);
-        d.read_sync(1, &clock);
-        d.read_sync(3, &clock);
+        d.read_sync(0, &clock).unwrap();
+        d.read_sync(1, &clock).unwrap();
+        d.read_sync(3, &clock).unwrap();
         let s = d.stats();
         assert_eq!(s.sequential_reads, 1);
         assert_eq!(s.random_reads, 2);
@@ -189,6 +189,6 @@ mod tests {
         let p = d.append_page(vec![1]);
         d.write_page(p, vec![9, 9]);
         let clock = SimClock::new();
-        assert_eq!(&d.read_sync(p, &clock)[..2], &[9, 9]);
+        assert_eq!(&d.read_sync(p, &clock).unwrap()[..2], &[9, 9]);
     }
 }

@@ -16,14 +16,23 @@
 //! a second physical read. Waits are counted in
 //! [`SharedPageCacheStats::single_flight_waits`].
 //!
+//! A loader that **fails** (its device read errors) or **dies** (panics and
+//! unwinds mid-miss) never strands its waiters: the flight slot is a
+//! tri-state ([`FlightOutcome`]) and anything other than a published image
+//! is observed by waiters as a *retryable miss* — they retire the dead
+//! flight and loop back to become the loader themselves. Failed loads are
+//! never cached, so one worker's transient fault cannot poison the page for
+//! everyone else.
+//!
 //! [`SharedCacheDevice`] stacks the cache on top of any [`Device`] that can
 //! be forked ([`Device::try_fork`]), producing a `Send` device that each
 //! worker's private `TreeStore`/`BufferManager` can own. Everything above
 //! the device boundary stays single-threaded (`Rc`/`RefCell`), exactly as
 //! before — concurrency lives only below it.
 
+use crate::checksum::verify_page;
 use crate::clock::SimClock;
-use crate::device::{Completion, Device, DeviceStats, PageId};
+use crate::device::{Completion, Device, DeviceStats, IoError, IoErrorKind, PageId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +56,9 @@ pub struct SharedPageCacheStats {
     pub single_flight_waits: u64,
     /// Page images inserted (loads + async publishes).
     pub inserts: u64,
+    /// Single-flight loads that ended in an error or a dead loader; each one
+    /// left waiters with a retryable miss instead of a cached image.
+    pub failed_loads: u64,
 }
 
 impl SharedPageCacheStats {
@@ -61,11 +73,27 @@ impl SharedPageCacheStats {
     }
 }
 
+/// What a waiter finds in a flight slot once the loader releases it.
+#[derive(Default)]
+enum FlightOutcome {
+    /// The loader unwound (panicked) without ever publishing — the slot
+    /// still holds its initial value. Waiters treat this as a retryable
+    /// miss (a poisoned flight, not a poisoned page).
+    #[default]
+    Pending,
+    /// The load succeeded; the image is also in the page map.
+    Ready(Arc<[u8]>),
+    /// The loader's device read failed. The error is *not* cached (it goes
+    /// to the loader alone): waiters retire the flight and retry the load
+    /// themselves, so the outcome carries no payload.
+    Failed,
+}
+
 /// An in-progress single-flight load. The loader holds `slot`'s lock for the
-/// whole device read; waiters block on `lock()` and find the published image.
+/// whole device read; waiters block on `lock()` and inspect the outcome.
 #[derive(Default)]
 struct Flight {
-    slot: Mutex<Option<Arc<[u8]>>>,
+    slot: Mutex<FlightOutcome>,
 }
 
 #[derive(Default)]
@@ -83,6 +111,7 @@ pub struct SharedPageCache {
     misses: AtomicU64,
     single_flight_waits: AtomicU64,
     inserts: AtomicU64,
+    failed_loads: AtomicU64,
 }
 
 impl Default for SharedPageCache {
@@ -104,6 +133,7 @@ impl SharedPageCache {
             misses: AtomicU64::new(0),
             single_flight_waits: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            failed_loads: AtomicU64::new(0),
         }
     }
 
@@ -134,27 +164,34 @@ impl SharedPageCache {
 
     /// Returns the cached image for `page`, or invokes `load` exactly once
     /// across all concurrent callers to fetch it (single-flight).
-    pub fn get_or_load<F>(&self, page: PageId, mut load: F) -> Arc<[u8]>
+    ///
+    /// A failing load is returned to the loader only and never cached:
+    /// waiters blocked on the flight observe [`FlightOutcome::Failed`] (or
+    /// [`FlightOutcome::Pending`], if the loader unwound) as a retryable
+    /// miss, retire the dead flight, and loop back to load the page
+    /// themselves.
+    pub fn get_or_load<F>(&self, page: PageId, mut load: F) -> Result<Arc<[u8]>, IoError>
     where
-        F: FnMut() -> Arc<[u8]>,
+        F: FnMut() -> Result<Arc<[u8]>, IoError>,
     {
         loop {
             let mut shard = self.shard(page).lock();
             if let Some(b) = shard.pages.get(&page) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(b);
+                return Ok(Arc::clone(b));
             }
             if let Some(f) = shard.flights.get(&page).map(Arc::clone) {
                 // Another worker is loading this page right now. Drop the
                 // shard lock and block on the flight instead of reading.
                 drop(shard);
                 self.single_flight_waits.fetch_add(1, Ordering::Relaxed);
-                if let Some(b) = f.slot.lock().as_ref() {
+                if let FlightOutcome::Ready(b) = &*f.slot.lock() {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(b);
+                    return Ok(Arc::clone(b));
                 }
-                // The loader unwound without publishing. Retire its stale
-                // flight (if still present) and retry from the top.
+                // The loader failed or unwound without publishing. Retire
+                // its stale flight (if still present) and retry from the
+                // top — this worker becomes the next loader.
                 let mut shard = self.shard(page).lock();
                 let stale = shard
                     .flights
@@ -166,22 +203,43 @@ impl SharedPageCache {
                 continue;
             }
             // We are the loader. Lock the flight slot *before* making the
-            // flight visible, so waiters can never observe an empty slot
-            // while the load is still in progress.
+            // flight visible, so waiters can never observe an unresolved
+            // slot while the load is still in progress.
             let f = Arc::new(Flight::default());
             let mut slot = f.slot.lock();
             shard.flights.insert(page, Arc::clone(&f));
             drop(shard);
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let bytes = load();
-            *slot = Some(Arc::clone(&bytes));
-            let mut shard = self.shard(page).lock();
-            shard.pages.insert(page, Arc::clone(&bytes));
-            shard.flights.remove(&page);
-            self.inserts.fetch_add(1, Ordering::Relaxed);
-            drop(shard);
-            drop(slot);
-            return bytes;
+            // If `load` panics, the slot stays Pending and the flight is
+            // retired by the first waiter that observes it (parking_lot
+            // mutexes release on unwind, without libstd poisoning).
+            match load() {
+                Ok(bytes) => {
+                    *slot = FlightOutcome::Ready(Arc::clone(&bytes));
+                    let mut shard = self.shard(page).lock();
+                    shard.pages.insert(page, Arc::clone(&bytes));
+                    shard.flights.remove(&page);
+                    self.inserts.fetch_add(1, Ordering::Relaxed);
+                    drop(shard);
+                    drop(slot);
+                    return Ok(bytes);
+                }
+                Err(e) => {
+                    *slot = FlightOutcome::Failed;
+                    let mut shard = self.shard(page).lock();
+                    let stale = shard
+                        .flights
+                        .get(&page)
+                        .is_some_and(|cur| Arc::ptr_eq(cur, &f));
+                    if stale {
+                        shard.flights.remove(&page);
+                    }
+                    self.failed_loads.fetch_add(1, Ordering::Relaxed);
+                    drop(shard);
+                    drop(slot);
+                    return Err(e);
+                }
+            }
         }
     }
 
@@ -216,6 +274,7 @@ impl SharedPageCache {
             misses: self.misses.load(Ordering::Relaxed),
             single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            failed_loads: self.failed_loads.load(Ordering::Relaxed),
         }
     }
 }
@@ -259,21 +318,27 @@ impl Device for SharedCacheDevice {
         self.inner.page_size()
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
         clock.charge_cpu(CACHE_PROBE_NS);
         let inner = &mut self.inner;
-        self.cache
-            .get_or_load(page, || inner.read_sync(page, clock))
+        self.cache.get_or_load(page, || {
+            let bytes = inner.read_sync(page, clock)?;
+            // Verify on the miss path, *before* the image can be published
+            // to other workers: a torn read never enters the shared cache.
+            if verify_page(&bytes) {
+                Ok(bytes)
+            } else {
+                Err(IoError::new(page, IoErrorKind::Corrupt))
+            }
+        })
     }
 
     fn submit(&mut self, page: PageId, clock: &SimClock) {
         clock.charge_cpu(CACHE_PROBE_NS);
         match self.cache.probe(page) {
-            Some(bytes) => self.ready.push_back(Completion {
-                page,
-                bytes,
-                finished_at_ns: clock.now_ns(),
-            }),
+            Some(bytes) => self
+                .ready
+                .push_back(Completion::ok(page, bytes, clock.now_ns())),
             None => self.inner.submit(page, clock),
         }
     }
@@ -282,8 +347,18 @@ impl Device for SharedCacheDevice {
         if let Some(c) = self.ready.pop_front() {
             return Some(c);
         }
-        let c = self.inner.poll(clock, block)?;
-        self.cache.publish(c.page, Arc::clone(&c.bytes));
+        let mut c = self.inner.poll(clock, block)?;
+        match &c.result {
+            Ok(bytes) if verify_page(bytes) => {
+                self.cache.publish(c.page, Arc::clone(bytes));
+            }
+            Ok(_) => {
+                // Torn image off the async path: surface it as a checksum
+                // error instead of publishing garbage.
+                c.result = Err(IoError::new(c.page, IoErrorKind::Corrupt));
+            }
+            Err(_) => {}
+        }
         Some(c)
     }
 
@@ -346,18 +421,79 @@ mod tests {
     fn get_or_load_loads_once() {
         let cache = SharedPageCache::new();
         let mut loads = 0u32;
-        let a = cache.get_or_load(7, || {
-            loads += 1;
-            Arc::from(vec![42u8; 4])
-        });
-        let b = cache.get_or_load(7, || {
-            loads += 1;
-            Arc::from(vec![0u8; 4])
-        });
+        let a = cache
+            .get_or_load(7, || {
+                loads += 1;
+                Ok(Arc::from(vec![42u8; 4]))
+            })
+            .unwrap();
+        let b = cache
+            .get_or_load(7, || {
+                loads += 1;
+                Ok(Arc::from(vec![0u8; 4]))
+            })
+            .unwrap();
         assert_eq!(loads, 1);
         assert!(Arc::ptr_eq(&a, &b), "hit must be a refcount clone");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn failed_load_is_not_cached_and_retries() {
+        use crate::device::IoErrorKind;
+        let cache = SharedPageCache::new();
+        let err = cache.get_or_load(3, || Err(IoError::new(3, IoErrorKind::Transient)));
+        assert_eq!(err.unwrap_err().kind, IoErrorKind::Transient);
+        assert_eq!(cache.stats().failed_loads, 1);
+        assert!(cache.is_empty(), "errors must not be cached");
+        // The flight was retired with the error, so the next caller loads.
+        let ok = cache
+            .get_or_load(3, || Ok(Arc::from(vec![5u8; 4])))
+            .unwrap();
+        assert_eq!(ok[0], 5);
+        assert_eq!(cache.stats().inserts, 1);
+    }
+
+    #[test]
+    fn panicking_loader_does_not_strand_waiters() {
+        use std::sync::mpsc;
+        let cache = Arc::new(SharedPageCache::new());
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let loader_cache = Arc::clone(&cache);
+            let loader = s.spawn(move || {
+                let _ = loader_cache.get_or_load(9, || {
+                    started_tx.send(()).ok();
+                    release_rx.recv().ok();
+                    panic!("simulated loader death mid-miss");
+                });
+            });
+            // The loader signals from inside its load closure, i.e. after it
+            // installed and locked the flight.
+            started_rx.recv().unwrap();
+            let waiter_cache = Arc::clone(&cache);
+            let waiter = s.spawn(move || {
+                waiter_cache
+                    .get_or_load(9, || Ok(Arc::from(vec![7u8; 4])))
+                    .unwrap()
+            });
+            // The flight cannot resolve until the loader dies; make sure the
+            // waiter is actually blocked on it first.
+            while cache.stats().single_flight_waits == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            release_tx.send(()).unwrap();
+            assert!(loader.join().is_err(), "loader must have panicked");
+            // The waiter observes the poisoned (Pending) flight as a
+            // retryable miss, retires it, and loads the page itself.
+            let bytes = waiter.join().unwrap();
+            assert_eq!(bytes[0], 7);
+        });
+        let s = cache.stats();
+        assert_eq!(s.inserts, 1, "exactly the waiter's load was published");
+        assert!(s.single_flight_waits >= 1);
     }
 
     #[test]
@@ -366,8 +502,8 @@ mod tests {
         let mut d1 = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
         let mut d2 = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
         let clock = SimClock::new();
-        let a = d1.read_sync(2, &clock);
-        let b = d2.read_sync(2, &clock);
+        let a = d1.read_sync(2, &clock).unwrap();
+        let b = d2.read_sync(2, &clock).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         // Only the first adapter touched its physical device.
         assert_eq!(d1.stats().reads, 1);
@@ -388,7 +524,7 @@ mod tests {
         d2.submit(1, &clock);
         assert_eq!(d2.in_flight(), 1);
         let c2 = d2.poll(&clock, true).unwrap();
-        assert!(Arc::ptr_eq(&c.bytes, &c2.bytes));
+        assert!(Arc::ptr_eq(&c.result.unwrap(), &c2.result.unwrap()));
         assert_eq!(d2.stats().reads, 0);
     }
 
@@ -397,9 +533,9 @@ mod tests {
         let cache = Arc::new(SharedPageCache::new());
         let mut d = SharedCacheDevice::new(Box::new(mem_with_pages(4)), Arc::clone(&cache));
         let clock = SimClock::new();
-        let old = d.read_sync(3, &clock);
+        let old = d.read_sync(3, &clock).unwrap();
         d.write_page(3, vec![9; 4]);
-        let new = d.read_sync(3, &clock);
+        let new = d.read_sync(3, &clock).unwrap();
         assert!(!Arc::ptr_eq(&old, &new));
         assert_eq!(new[0], 9);
     }
@@ -423,7 +559,7 @@ mod tests {
             fn page_size(&self) -> usize {
                 self.inner.page_size()
             }
-            fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+            fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
                 self.started.send(()).ok();
                 self.release.recv().ok();
                 self.reads.fetch_add(1, Ordering::SeqCst);
@@ -468,7 +604,7 @@ mod tests {
         std::thread::scope(|s| {
             let h1 = s.spawn(move || {
                 let clock = SimClock::new();
-                d1.read_sync(0, &clock)
+                d1.read_sync(0, &clock).unwrap()
             });
             // The loader signals from *inside* its device read, i.e. after
             // it has installed and locked the flight — so the second reader
@@ -476,7 +612,7 @@ mod tests {
             started_rx.recv().unwrap();
             let h2 = s.spawn(move || {
                 let clock = SimClock::new();
-                d2.read_sync(0, &clock)
+                d2.read_sync(0, &clock).unwrap()
             });
             // The flight cannot resolve until we release the loader, so the
             // waiter is guaranteed to register; spin until it has.

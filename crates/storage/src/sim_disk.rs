@@ -33,7 +33,7 @@
 //! [`DeviceStats::page_copies`]).
 
 use crate::clock::SimClock;
-use crate::device::{Completion, Device, DeviceStats, PageId};
+use crate::device::{Completion, Device, DeviceStats, IoError, PageId};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -460,11 +460,7 @@ impl SimDisk {
         }
         self.head = req.page + 1;
         self.busy_until_ns = finished;
-        Completion {
-            page: req.page,
-            bytes: self.page_bytes(req.page),
-            finished_at_ns: finished,
-        }
+        Completion::ok(req.page, self.page_bytes(req.page), finished)
     }
 
     fn account_read(&mut self, page: PageId, cost: u64) {
@@ -513,7 +509,7 @@ impl Device for SimDisk {
         self.page_size
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
         assert!(
             (page as usize) < self.pages.len(),
             "page {page} out of range"
@@ -526,7 +522,7 @@ impl Device for SimDisk {
         self.head = page + 1;
         self.busy_until_ns = start + cost;
         clock.wait_until(start + cost);
-        self.page_bytes(page)
+        Ok(self.page_bytes(page))
     }
 
     fn submit(&mut self, page: PageId, clock: &SimClock) {
@@ -635,7 +631,7 @@ mod reference {
 
     use super::{DiskProfile, Pending, QueuePolicy};
     use crate::clock::SimClock;
-    use crate::device::{Completion, Device, DeviceStats, PageId};
+    use crate::device::{Completion, Device, DeviceStats, IoError, PageId};
     use std::collections::VecDeque;
     use std::sync::Arc;
 
@@ -745,11 +741,11 @@ mod reference {
             }
             self.head = req.page + 1;
             self.busy_until_ns = finished;
-            Completion {
-                page: req.page,
-                bytes: Arc::clone(&self.pages[req.page as usize]),
-                finished_at_ns: finished,
-            }
+            Completion::ok(
+                req.page,
+                Arc::clone(&self.pages[req.page as usize]),
+                finished,
+            )
         }
 
         fn account_read(&mut self, page: PageId, cost: u64) {
@@ -789,7 +785,7 @@ mod reference {
             self.page_size
         }
 
-        fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+        fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
             self.advance(clock.now_ns());
             let start = self.busy_until_ns.max(clock.now_ns());
             let cost = self.profile.access_cost_ns(self.head, page);
@@ -797,7 +793,7 @@ mod reference {
             self.head = page + 1;
             self.busy_until_ns = start + cost;
             clock.wait_until(start + cost);
-            Arc::clone(&self.pages[page as usize])
+            Ok(Arc::clone(&self.pages[page as usize]))
         }
 
         fn submit(&mut self, page: PageId, clock: &SimClock) {
@@ -884,9 +880,9 @@ mod tests {
     fn sequential_reads_cost_transfer_only() {
         let mut d = disk_with_pages(10);
         let clock = SimClock::new();
-        d.read_sync(0, &clock);
+        d.read_sync(0, &clock).unwrap();
         let t0 = clock.now_ns();
-        d.read_sync(1, &clock);
+        d.read_sync(1, &clock).unwrap();
         let p = *d.profile();
         assert_eq!(clock.now_ns() - t0, p.command_overhead_ns + p.transfer_ns);
         // Page 0 from the parked head *and* page 1 are both sequential.
@@ -897,12 +893,12 @@ mod tests {
     fn random_read_costs_more_than_sequential() {
         let mut d = disk_with_pages(100);
         let clock = SimClock::new();
-        d.read_sync(0, &clock);
+        d.read_sync(0, &clock).unwrap();
         let t0 = clock.now_ns();
-        d.read_sync(50, &clock);
+        d.read_sync(50, &clock).unwrap();
         let random_cost = clock.now_ns() - t0;
         let t1 = clock.now_ns();
-        d.read_sync(51, &clock);
+        d.read_sync(51, &clock).unwrap();
         let seq_cost = clock.now_ns() - t1;
         assert!(random_cost > 10 * seq_cost);
     }
@@ -1013,8 +1009,8 @@ mod tests {
         let mut d = disk_with_pages(10);
         d.set_trace(true);
         let clock = SimClock::new();
-        d.read_sync(3, &clock);
-        d.read_sync(1, &clock);
+        d.read_sync(3, &clock).unwrap();
+        d.read_sync(1, &clock).unwrap();
         assert_eq!(d.access_trace(), &[3, 1]);
         d.reset_stats();
         assert!(d.access_trace().is_empty());
@@ -1025,7 +1021,7 @@ mod tests {
         let mut d = SimDisk::new(32);
         let id = d.append_page(vec![1, 2, 3]);
         let clock = SimClock::new();
-        let bytes = d.read_sync(id, &clock);
+        let bytes = d.read_sync(id, &clock).unwrap();
         assert_eq!(bytes.len(), 32);
         assert_eq!(&bytes[..3], &[1, 2, 3]);
     }
@@ -1043,8 +1039,8 @@ mod tests {
         d.append_page(vec![7]);
         d.append_page(vec![8]);
         let clock = SimClock::new();
-        d.read_sync(1, &clock);
-        d.read_sync(0, &clock);
+        d.read_sync(1, &clock).unwrap();
+        d.read_sync(0, &clock).unwrap();
         assert_eq!(clock.now_ns(), 0);
     }
 
@@ -1069,9 +1065,10 @@ mod tests {
         let clock = SimClock::new();
         d.submit(2, &clock);
         let c = d.poll(&clock, true).expect("served");
-        let again = d.read_sync(2, &clock);
+        let served = c.result.expect("infallible device");
+        let again = d.read_sync(2, &clock).unwrap();
         assert!(
-            Arc::ptr_eq(&c.bytes, &again),
+            Arc::ptr_eq(&served, &again),
             "both reads must share the device's page allocation"
         );
     }
@@ -1118,7 +1115,7 @@ mod queued_cost_tests {
         while batched.poll(&cb, true).is_some() {}
         let cs = SimClock::new();
         for &p in &pages {
-            serial.read_sync(p, &cs);
+            let _ = serial.read_sync(p, &cs);
         }
         assert!(
             cb.now_ns() < cs.now_ns() * 3 / 4,

@@ -12,8 +12,9 @@
 //! tests can verify that *committed* updates survive a crash that wipes
 //! all in-place page writes.
 
+use crate::checksum::verify_page;
 use crate::clock::SimClock;
-use crate::device::{Completion, Device, DeviceStats, PageId};
+use crate::device::{Completion, Device, DeviceStats, IoError, PageId};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -85,19 +86,37 @@ impl WriteAheadLog {
     }
 }
 
+/// Outcome of a [`recover`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Durable page images replayed onto the device.
+    pub applied: usize,
+    /// Durable records whose after-image failed checksum verification
+    /// (rotted in the log) and were skipped instead of written back.
+    pub skipped_corrupt: usize,
+}
+
 /// Replays the durable prefix of `wal` onto `device` (idempotent).
-/// Returns the number of page images applied.
-pub fn recover(device: &mut dyn Device, wal: &WriteAheadLog) -> usize {
-    let mut applied = 0;
+///
+/// Every after-image is checksum-verified before it is written back: a
+/// record that rotted in the log is skipped and counted in
+/// [`RecoveryReport::skipped_corrupt`] rather than silently installing
+/// garbage the navigation layer would then decode.
+pub fn recover(device: &mut dyn Device, wal: &WriteAheadLog) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
     for rec in wal.durable_records() {
+        if !verify_page(&rec.image) {
+            report.skipped_corrupt += 1;
+            continue;
+        }
         // Pages created after the snapshot may not exist yet.
         while device.num_pages() <= rec.page {
             device.append_page(Vec::new());
         }
         device.write_page(rec.page, rec.image.clone());
-        applied += 1;
+        report.applied += 1;
     }
-    applied
+    report
 }
 
 struct SnapshotInner {
@@ -160,9 +179,17 @@ impl<D: Device> SnapshotDevice<D> {
         if needs_snapshot {
             // Take the snapshot now.
             let clock = SimClock::new();
+            let page_size = self.device.page_size();
             let mut pages = Vec::with_capacity(self.device.num_pages() as usize);
             for p in 0..self.device.num_pages() {
-                pages.push(self.device.read_sync(p, &clock));
+                // An unreadable page snapshots as a zeroed image — the crash
+                // model cares about writes, not about replaying device
+                // faults at snapshot time.
+                let image = self
+                    .device
+                    .read_sync(p, &clock)
+                    .unwrap_or_else(|_| Arc::from(vec![0u8; page_size]));
+                pages.push(image);
             }
             inner.baseline = Some(pages);
         }
@@ -193,7 +220,7 @@ impl<D: Device> Device for SnapshotDevice<D> {
         self.device.page_size()
     }
 
-    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Arc<[u8]> {
+    fn read_sync(&mut self, page: PageId, clock: &SimClock) -> Result<Arc<[u8]>, IoError> {
         self.service_control();
         self.device.read_sync(page, clock)
     }
@@ -241,6 +268,9 @@ impl<D: Device> Device for SnapshotDevice<D> {
 
 #[cfg(test)]
 mod tests {
+    // Test assertions panic by design; R3 covers the non-test hot path.
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::mem_device::MemDevice;
 
@@ -276,15 +306,46 @@ mod tests {
         wal.log_page(4, vec![77]); // page beyond current end
         wal.flush();
         wal.log_page(2, vec![99]); // not durable
-        let applied = recover(&mut device, &wal);
-        assert_eq!(applied, 2);
+        let report = recover(&mut device, &wal);
+        assert_eq!(report.applied, 2);
+        assert_eq!(report.skipped_corrupt, 0);
         let clock = SimClock::new();
-        assert_eq!(device.read_sync(1, &clock)[0], 42);
-        assert_eq!(device.read_sync(4, &clock)[0], 77);
+        assert_eq!(device.read_sync(1, &clock).unwrap()[0], 42);
+        assert_eq!(device.read_sync(4, &clock).unwrap()[0], 77);
         assert_eq!(
-            device.read_sync(2, &clock)[0],
+            device.read_sync(2, &clock).unwrap()[0],
             2,
             "undurable write not applied"
+        );
+    }
+
+    #[test]
+    fn recover_skips_and_counts_corrupt_images() {
+        use crate::checksum::seal_page;
+        let mut device = dev_with(3);
+        let mut wal = WriteAheadLog::new();
+        let mut good = vec![42u8; 16];
+        seal_page(&mut good);
+        let mut rotted = vec![77u8; 16];
+        seal_page(&mut rotted);
+        rotted[3] ^= 0x10; // bit rot in the log after sealing
+        wal.log_page(0, good);
+        wal.log_page(1, rotted);
+        wal.flush();
+        let report = recover(&mut device, &wal);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                applied: 1,
+                skipped_corrupt: 1
+            }
+        );
+        let clock = SimClock::new();
+        assert_eq!(device.read_sync(0, &clock).unwrap()[0], 42);
+        assert_eq!(
+            device.read_sync(1, &clock).unwrap()[0],
+            1,
+            "corrupt image must not be written back"
         );
     }
 
@@ -297,8 +358,12 @@ mod tests {
         dev.write_page(0, vec![200]);
         dev.append_page(vec![201]);
         handle.crash();
-        assert_eq!(dev.read_sync(0, &clock)[0], 0, "write rolled back");
-        assert_eq!(dev.read_sync(2, &clock)[0], 0, "post-snapshot page zeroed");
+        assert_eq!(dev.read_sync(0, &clock).unwrap()[0], 0, "write rolled back");
+        assert_eq!(
+            dev.read_sync(2, &clock).unwrap()[0],
+            0,
+            "post-snapshot page zeroed"
+        );
     }
 
     #[test]
@@ -326,13 +391,21 @@ mod tests {
         handle.crash();
         wal.crash();
         let _ = dev.read_sync(0, &clock); // apply crash
-        assert_eq!(dev.read_sync(0, &clock)[0], 0, "all in-place writes lost");
+        assert_eq!(
+            dev.read_sync(0, &clock).unwrap()[0],
+            0,
+            "all in-place writes lost"
+        );
 
-        let applied = recover(dev.as_mut(), &wal);
-        assert_eq!(applied, 2);
-        assert_eq!(dev.read_sync(0, &clock)[0], 10);
-        assert_eq!(dev.read_sync(1, &clock)[0], 11);
-        assert_eq!(dev.read_sync(2, &clock)[0], 2, "uncommitted write gone");
+        let report = recover(dev.as_mut(), &wal);
+        assert_eq!(report.applied, 2);
+        assert_eq!(dev.read_sync(0, &clock).unwrap()[0], 10);
+        assert_eq!(dev.read_sync(1, &clock).unwrap()[0], 11);
+        assert_eq!(
+            dev.read_sync(2, &clock).unwrap()[0],
+            2,
+            "uncommitted write gone"
+        );
     }
 
     #[test]
@@ -344,6 +417,6 @@ mod tests {
         recover(&mut device, &wal);
         recover(&mut device, &wal);
         let clock = SimClock::new();
-        assert_eq!(device.read_sync(0, &clock)[0], 5);
+        assert_eq!(device.read_sync(0, &clock).unwrap()[0], 5);
     }
 }

@@ -28,7 +28,7 @@
 
 use crate::node::{encode_cluster, encoded_size, Cluster, Node, NodeId, NodeKind};
 use crate::store::TreeMeta;
-use pathix_storage::{Device, PageId};
+use pathix_storage::{seal_page, Device, PageId, CHECKSUM_LEN};
 use pathix_xml::{Document, NodeRef, XKind};
 use std::fmt;
 
@@ -413,10 +413,10 @@ pub fn import_into(
         device.page_size(),
         "config page size must match device"
     );
-    // Leave room for the slot directory: count + (n+1) offsets. With records
+    // Leave room for the slot directory (count + (n+1) offsets; with records
     // ≥ 17 bytes, slots per page ≤ page/17, so 2 bytes per record + 4 fixed
-    // is a safe bound.
-    let budget = cfg.page_size - 4 - 2 * (cfg.page_size / 17 + 1);
+    // is a safe bound) and for the checksum trailer at the page end.
+    let budget = cfg.page_size - 4 - CHECKSUM_LEN - 2 * (cfg.page_size / 17 + 1);
     let ranks = doc.preorder_ranks();
     let (clusters, border_edges) = partition(doc, budget, &ranks)?;
 
@@ -450,7 +450,8 @@ pub fn import_into(
     // Write in physical page order.
     finals.sort_by_key(|c| c.page);
     for c in &finals {
-        let bytes = encode_cluster(c, cfg.page_size);
+        let mut bytes = encode_cluster(c, cfg.page_size);
+        seal_page(&mut bytes);
         let pid = device.append_page(bytes);
         assert_eq!(pid, c.page, "device page allocation out of sync");
     }
@@ -551,7 +552,8 @@ mod tests {
         let clock = SimClock::new();
         let mut clusters = Vec::new();
         for p in meta.base_page..meta.base_page + meta.page_count {
-            let bytes = dev.read_sync(p, &clock);
+            let bytes = dev.read_sync(p, &clock).unwrap();
+            assert!(pathix_storage::verify_page(&bytes), "page {p} not sealed");
             clusters.push(crate::node::decode_cluster(p, &bytes, &clock));
         }
         let find = |id: NodeId| -> &Node {
@@ -642,7 +644,7 @@ mod tests {
         let clock = SimClock::new();
         let mut orders = Vec::new();
         for p in 0..meta.page_count {
-            let bytes = dev.read_sync(p, &clock);
+            let bytes = dev.read_sync(p, &clock).unwrap();
             let c = crate::node::decode_cluster(p, &bytes, &clock);
             for n in &c.nodes {
                 if n.kind.is_core() {

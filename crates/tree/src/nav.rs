@@ -601,13 +601,13 @@ impl FullCursor {
         axis: Axis,
         test: ResolvedTest,
     ) -> Self {
-        let cluster = store.fix(at.page);
-        let cursor = StepCursor::new(cluster, entry, axis, test.clone());
-        Self {
-            axis,
-            test,
-            stack: vec![cursor],
-        }
+        // On a read failure the cursor starts exhausted; the store records
+        // the error and the executor surfaces it after the plan winds down.
+        let stack = match store.checked_fix(at.page) {
+            Some(cluster) => vec![StepCursor::new(cluster, entry, axis, test.clone())],
+            None => Vec::new(),
+        };
+        Self { axis, test, stack }
     }
 
     /// Advances to the next matching node, crossing borders via `store`.
@@ -617,7 +617,12 @@ impl FullCursor {
             match top.next(charge) {
                 Some(StepItem::Match { id, order }) => return Some((id, order)),
                 Some(StepItem::Border { target, .. }) => {
-                    let cluster = store.fix(target.page);
+                    // A failed border crossing exhausts the cursor; the
+                    // store's recorded error reaches the executor.
+                    let Some(cluster) = store.checked_fix(target.page) else {
+                        self.stack.clear();
+                        return None;
+                    };
                     self.stack.push(StepCursor::new(
                         cluster,
                         Entry::Resume(target.slot),

@@ -1,9 +1,11 @@
 //! The tree store: metadata + buffer-managed access to decoded clusters.
 
 use crate::node::{decode_cluster, Cluster, NodeId};
-use pathix_storage::{BufferManager, BufferParams, Device, PageId, SimClock, WriteAheadLog};
+use pathix_storage::{
+    BufferManager, BufferParams, Device, IoError, PageId, SimClock, WriteAheadLog,
+};
 use pathix_xml::SymbolTable;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -74,6 +76,11 @@ pub struct TreeStore {
     /// Optional write-ahead log: when attached, every page update is logged
     /// before it is written (see `pathix_storage::wal`).
     pub wal: Option<Rc<RefCell<WriteAheadLog>>>,
+    /// First unrecovered I/O error hit by [`Self::checked_fix`] during the
+    /// current plan execution. Operators observe it via [`Self::io_failed`]
+    /// and wind down; the executor takes it with [`Self::take_io_error`] and
+    /// converts it to `ExecError::Io`.
+    io_error: Cell<Option<IoError>>,
 }
 
 impl TreeStore {
@@ -88,6 +95,7 @@ impl TreeStore {
             meta,
             buffer: BufferManager::new(device, ClusterDecoder, params, clock),
             wal: None,
+            io_error: Cell::new(None),
         }
     }
 
@@ -122,6 +130,10 @@ impl TreeStore {
     }
 
     /// Fixes the cluster holding `page`.
+    ///
+    /// Infallible (panics on an unrecoverable read error) — for
+    /// construction, export, and tests. Operators on the query path use
+    /// [`Self::checked_fix`].
     pub fn fix(&self, page: PageId) -> Arc<Cluster> {
         self.buffer.fix(page)
     }
@@ -129,6 +141,48 @@ impl TreeStore {
     /// Fixes the cluster of a node.
     pub fn fix_node(&self, id: NodeId) -> Arc<Cluster> {
         self.buffer.fix(id.page)
+    }
+
+    /// Fixes the cluster holding `page`, returning the I/O error instead of
+    /// panicking.
+    pub fn try_fix(&self, page: PageId) -> Result<Arc<Cluster>, IoError> {
+        self.buffer.try_fix(page)
+    }
+
+    /// Fixes the cluster holding `page`; on an unrecoverable read error,
+    /// records the first such error on the store and returns `None`.
+    ///
+    /// This is the operator-facing fix: operators have no error channel of
+    /// their own (their iterator protocol yields `Option<Pi>`), so they
+    /// treat `None` as "wind down" and the executor surfaces the recorded
+    /// error as `ExecError::Io` after draining the plan.
+    pub fn checked_fix(&self, page: PageId) -> Option<Arc<Cluster>> {
+        match self.buffer.try_fix(page) {
+            Ok(cluster) => Some(cluster),
+            Err(e) => {
+                if self.io_error.get().is_none() {
+                    self.io_error.set(Some(e));
+                }
+                None
+            }
+        }
+    }
+
+    /// True once [`Self::checked_fix`] has recorded an unrecovered error in
+    /// the current execution.
+    pub fn io_failed(&self) -> bool {
+        self.io_error.get().is_some()
+    }
+
+    /// Takes the recorded error, clearing the flag.
+    pub fn take_io_error(&self) -> Option<IoError> {
+        self.io_error.take()
+    }
+
+    /// Clears any recorded error (executors call this when a run starts, so
+    /// one aborted plan cannot poison the next).
+    pub fn clear_io_error(&self) {
+        self.io_error.set(None);
     }
 }
 

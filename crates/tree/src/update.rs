@@ -21,7 +21,7 @@
 
 use crate::node::{encode_cluster, encoded_size, Cluster, Node, NodeId, NodeKind};
 use crate::store::TreeStore;
-use pathix_storage::PageId;
+use pathix_storage::{seal_page, PageId, CHECKSUM_LEN};
 use pathix_xml::Symbol;
 use std::fmt;
 use std::sync::Arc;
@@ -99,8 +99,11 @@ impl<'a> TreeUpdater<'a> {
 
     fn write(&self, cluster: &Cluster) {
         let page_size = self.store.buffer.device_mut().page_size();
-        debug_assert!(Self::cluster_bytes(cluster) <= page_size);
-        let bytes = encode_cluster(cluster, page_size);
+        debug_assert!(Self::cluster_bytes(cluster) <= page_size - CHECKSUM_LEN);
+        let mut bytes = encode_cluster(cluster, page_size);
+        // Seal before logging, so WAL after-images carry the checksum and
+        // recovery can detect torn log records.
+        seal_page(&mut bytes);
         // WAL protocol: log the after-image before the in-place write.
         if let Some(wal) = &self.store.wal {
             wal.borrow_mut().log_page(cluster.page, bytes.clone());
@@ -122,7 +125,7 @@ impl<'a> TreeUpdater<'a> {
 
     fn fits(&self, cluster: &Cluster, extra: &NodeKind) -> bool {
         let page_size = self.store.buffer.device_mut().page_size();
-        Self::cluster_bytes(cluster) + 2 + encoded_size(extra) <= page_size
+        Self::cluster_bytes(cluster) + 2 + encoded_size(extra) <= page_size - CHECKSUM_LEN
     }
 
     /// Document-order key of the last node of `slot`'s subtree, crossing
@@ -356,7 +359,7 @@ impl<'a> TreeUpdater<'a> {
             page: overflow_page,
             nodes: Vec::new(),
         };
-        while Self::cluster_bytes(cluster) + needed > page_size {
+        while Self::cluster_bytes(cluster) + needed > page_size - CHECKSUM_LEN {
             let Some((_, slot)) = candidates.pop() else {
                 // Abandon the relocation. The caller drops its in-memory
                 // `cluster` (with the proxies) unwritten on error, so the
@@ -439,7 +442,7 @@ impl<'a> TreeUpdater<'a> {
         let old_len = old.len();
         *old = text.into();
         let page_size = self.store.buffer.device_mut().page_size();
-        if Self::cluster_bytes(&cluster) > page_size {
+        if Self::cluster_bytes(&cluster) > page_size - CHECKSUM_LEN {
             let _ = old_len;
             return Err(UpdateError::ClusterFull { page: node.page });
         }

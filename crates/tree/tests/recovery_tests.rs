@@ -90,8 +90,9 @@ fn committed_updates_survive_a_crash() {
         let mut dev = store.buffer.device_mut();
         let clock = SimClock::new();
         let _ = dev.read_sync(0, &clock); // apply the crash
-        let applied = recover(dev.as_mut(), &wal.borrow());
-        assert!(applied >= 1, "committed page images must replay");
+        let report = recover(dev.as_mut(), &wal.borrow());
+        assert!(report.applied >= 1, "committed page images must replay");
+        assert_eq!(report.skipped_corrupt, 0, "sealed WAL images must verify");
     }
     store.buffer.reset();
 
@@ -136,7 +137,7 @@ fn crash_without_any_commit_restores_import_state() {
         let mut dev = store.buffer.device_mut();
         let clock = SimClock::new();
         let _ = dev.read_sync(0, &clock);
-        assert_eq!(recover(dev.as_mut(), &wal.borrow()), 0);
+        assert_eq!(recover(dev.as_mut(), &wal.borrow()).applied, 0);
     }
     store.buffer.reset();
     assert!(doc.logically_equal(&export(&store)));

@@ -95,7 +95,10 @@ fn main() {
         let clock = SimClock::new();
         let _ = dev.read_sync(0, &clock);
         let replayed = recover(dev.as_mut(), &wal.borrow());
-        println!("redo replay applied {replayed} page images (idempotent)");
+        println!(
+            "redo replay applied {} page images (idempotent), {} corrupt skipped",
+            replayed.applied, replayed.skipped_corrupt
+        );
     }
     db.clear_buffers();
     println!(

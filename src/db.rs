@@ -7,8 +7,8 @@ use pathix_core::{
     PlanConfig, PlanEstimate, QueryRun, WorkerSeed,
 };
 use pathix_storage::{
-    BufferParams, Device, DiskProfile, MemDevice, QueuePolicy, SharedCacheDevice, SharedPageCache,
-    SharedPageCacheStats, SimClock, SimDisk,
+    BufferParams, Device, DiskProfile, FaultDevice, FaultPlan, MemDevice, QueuePolicy,
+    SharedCacheDevice, SharedPageCache, SharedPageCacheStats, SimClock, SimDisk,
 };
 use pathix_tree::{import_into, ImportConfig, ImportReport, NodeId, Placement, TreeStore};
 use pathix_xml::Document;
@@ -108,10 +108,12 @@ impl From<ExecError> for DbError {
 /// Result of a parallel batch run (see [`Database::run_parallel`]).
 #[derive(Debug)]
 pub struct ParallelRun {
-    /// One run per work item, in batch order.
-    pub runs: Vec<ConcurrentRun>,
-    /// Sum of the per-item reports (aggregate simulated work, not elapsed
-    /// wall time — workers run concurrently).
+    /// One result per work item, in batch order. Failures are contained
+    /// per item: a query hitting an unrecoverable page read fails alone
+    /// with [`ExecError::Io`] while the rest of the batch completes.
+    pub runs: Vec<Result<ConcurrentRun, ExecError>>,
+    /// Sum of the successful per-item reports (aggregate simulated work,
+    /// not elapsed wall time — workers run concurrently).
     pub report: ExecReport,
     /// Shared page cache counters for the whole batch.
     pub cache: SharedPageCacheStats,
@@ -124,9 +126,8 @@ pub struct Database {
 }
 
 impl Database {
-    /// Imports `doc` into a fresh device.
-    pub fn from_document(doc: &Document, opts: &DatabaseOptions) -> Result<Self, DbError> {
-        let mut device: Box<dyn Device> = match opts.device {
+    fn fresh_device(opts: &DatabaseOptions) -> Box<dyn Device + Send> {
+        match opts.device {
             DeviceKind::SimDisk => Box::new(SimDisk::with_profile(opts.page_size, opts.profile)),
             DeviceKind::SimDiskFifo => {
                 let mut d = SimDisk::with_profile(opts.page_size, opts.profile);
@@ -134,7 +135,12 @@ impl Database {
                 Box::new(d)
             }
             DeviceKind::Mem => Box::new(MemDevice::new(opts.page_size)),
-        };
+        }
+    }
+
+    /// Imports `doc` into a fresh device.
+    pub fn from_document(doc: &Document, opts: &DatabaseOptions) -> Result<Self, DbError> {
+        let mut device = Self::fresh_device(opts);
         let cfg = ImportConfig {
             page_size: opts.page_size,
             placement: opts.placement,
@@ -142,6 +148,38 @@ impl Database {
         let (meta, import_report) = import_into(device.as_mut(), doc, &cfg)?;
         let store = TreeStore::open(
             device,
+            meta,
+            BufferParams {
+                capacity: opts.buffer_pages,
+                ..Default::default()
+            },
+            Rc::new(SimClock::new()),
+        );
+        Ok(Self {
+            store,
+            import_report,
+        })
+    }
+
+    /// Imports `doc` into a fresh device wrapped in a fault-injection
+    /// layer ([`pathix_storage::FaultDevice`]) driven by `plan`. The
+    /// import itself writes to the clean inner device; the plan afflicts
+    /// query-time reads only. Forks taken for [`Self::run_parallel`]
+    /// share the plan (one global occurrence count), so a fault schedule
+    /// means the same thing in sequential and parallel runs.
+    pub fn from_document_with_faults(
+        doc: &Document,
+        opts: &DatabaseOptions,
+        plan: FaultPlan,
+    ) -> Result<Self, DbError> {
+        let mut device = Self::fresh_device(opts);
+        let cfg = ImportConfig {
+            page_size: opts.page_size,
+            placement: opts.placement,
+        };
+        let (meta, import_report) = import_into(device.as_mut(), doc, &cfg)?;
+        let store = TreeStore::open(
+            Box::new(FaultDevice::new(device, plan)),
             meta,
             BufferParams {
                 capacity: opts.buffer_pages,
@@ -228,7 +266,7 @@ impl Database {
             .iter()
             .map(|p| parse_path(p).map(|x| x.rooted()))
             .collect::<Result<_, _>>()?;
-        Ok(execute_paths_shared_scan(&self.store, &parsed, cfg))
+        Ok(execute_paths_shared_scan(&self.store, &parsed, cfg)?)
     }
 
     /// Runs several `(path, method)` plans concurrently, interleaved on the
@@ -278,7 +316,7 @@ impl Database {
                 params: self.store.buffer.params(),
             });
         }
-        let batch = execute_batch_parallel(seeds, &parsed, cfg)?;
+        let batch = execute_batch_parallel(seeds, &parsed, cfg);
         Ok(ParallelRun {
             runs: batch.runs,
             report: batch.report,
@@ -405,6 +443,75 @@ mod tests {
             db.run("junk", Method::Simple),
             Err(DbError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn transient_faults_heal_invisibly() {
+        use pathix_storage::{FaultKind, FaultRule};
+        let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(0.02));
+        let clean = Database::from_document(&doc, &mem_opts()).unwrap();
+        let want = clean.run("count(//email)", Method::Simple).unwrap().value;
+        let plan = FaultPlan::new(
+            0xFA117,
+            vec![FaultRule::new(None, FaultKind::TransientRead).times(3)],
+        );
+        let db = Database::from_document_with_faults(&doc, &mem_opts(), plan).unwrap();
+        let run = db.run("count(//email)", Method::Simple).unwrap();
+        assert_eq!(run.value, want, "retried reads must not change results");
+        assert!(run.report.device.retries >= 3, "retries are counted");
+    }
+
+    #[test]
+    fn permanent_fault_surfaces_as_io_error() {
+        use pathix_storage::{FaultKind, FaultRule};
+        let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(0.02));
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::new(None, FaultKind::PermanentRead).times(u32::MAX)],
+        );
+        let db = Database::from_document_with_faults(&doc, &mem_opts(), plan).unwrap();
+        match db.run("count(//email)", Method::xschedule()) {
+            Err(DbError::Exec(ExecError::Io { attempts, .. })) => {
+                assert!(attempts >= 1);
+            }
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
+        // The engine stays usable: a clean plan resets the error channel.
+        assert!(db.store().take_io_error().is_none(), "error was consumed");
+    }
+
+    #[test]
+    fn corrupt_page_detected_by_checksum() {
+        use pathix_storage::{FaultKind, FaultRule};
+        let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(0.02));
+        let plan = FaultPlan::new(
+            7,
+            vec![FaultRule::new(None, FaultKind::CorruptRead).times(u32::MAX)],
+        );
+        let db = Database::from_document_with_faults(&doc, &mem_opts(), plan).unwrap();
+        match db.run("count(//email)", Method::Simple) {
+            Err(DbError::Exec(ExecError::Io { .. })) => {}
+            other => panic!("torn pages must not decode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_scan_aborts_cleanly_on_permanent_fault() {
+        use pathix_storage::{FaultKind, FaultRule};
+        let doc = pathix_xmlgen::generate(&pathix_xmlgen::GenConfig::at_scale(0.02));
+        let plan = FaultPlan::new(
+            3,
+            vec![FaultRule::new(None, FaultKind::PermanentRead)
+                .after(4)
+                .times(u32::MAX)],
+        );
+        let db = Database::from_document_with_faults(&doc, &mem_opts(), plan).unwrap();
+        let cfg = PlanConfig::new(Method::XScan);
+        match db.run_multi(&["/site//email", "//keyword"], &cfg) {
+            Err(DbError::Exec(ExecError::Io { attempts, .. })) => assert!(attempts >= 1),
+            other => panic!("expected an I/O abort, got {other:?}"),
+        }
+        assert!(db.store().take_io_error().is_none(), "error was consumed");
     }
 
     #[test]

@@ -50,4 +50,5 @@ pub use pathix_xpath as xpath;
 mod db;
 
 pub use db::{Database, DatabaseOptions, DbError, DeviceKind, ParallelRun};
-pub use pathix_core::{ExecReport, Method, PlanConfig, QueryRun};
+pub use pathix_core::{ExecError, ExecReport, Method, PlanConfig, QueryRun};
+pub use pathix_storage::{FaultKind, FaultPlan, FaultRule};

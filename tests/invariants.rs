@@ -146,7 +146,7 @@ fn sequential_scan_is_cheapest_order() {
         }
         let clock = SimClock::new();
         for &p in order {
-            d.read_sync(p, &clock);
+            d.read_sync(p, &clock).expect("fault-free device");
         }
         costs.push(clock.now_ns());
     }

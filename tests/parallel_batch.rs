@@ -59,6 +59,7 @@ fn parallel_is_bit_identical_to_sequential_for_any_worker_count() {
         let batch = db.run_parallel(&work, &cfg, workers).unwrap();
         assert_eq!(batch.runs.len(), reference.len());
         for (i, (run, want)) in batch.runs.iter().zip(&reference).enumerate() {
+            let run = run.as_ref().expect("fault-free batch item succeeds");
             assert_eq!(
                 &run.nodes, want,
                 "item {i} diverged at {workers} workers (path {:?}, method {:?})",
@@ -88,10 +89,15 @@ fn shared_cache_read_path_is_zero_copy() {
 fn per_plan_reports_sum_to_combined() {
     let db = Database::from_xmark(0.012, &DatabaseOptions::default()).unwrap();
     let batch = db.run_parallel(&corpus(), &sorted_cfg(), 3).unwrap();
-    let read_sum: u64 = batch.runs.iter().map(|r| r.report.device.reads).sum();
+    let read_sum: u64 = batch
+        .runs
+        .iter()
+        .flatten()
+        .map(|r| r.report.device.reads)
+        .sum();
     assert_eq!(read_sum, batch.report.device.reads);
     for run in &batch.runs {
-        assert!(!run.method.is_empty());
+        assert!(!run.as_ref().expect("item succeeds").method.is_empty());
     }
 }
 
@@ -113,5 +119,6 @@ fn mem_device_and_excess_workers() {
     });
     let batch = db.run_parallel(&work, &cfg, 16).unwrap();
     assert_eq!(batch.runs.len(), 1);
-    assert_eq!(batch.runs[0].nodes, want.unwrap().nodes);
+    let run = batch.runs[0].as_ref().expect("item succeeds");
+    assert_eq!(run.nodes, want.unwrap().nodes);
 }
