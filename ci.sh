@@ -7,10 +7,10 @@
 #   1. cargo fmt --check      — formatting is canonical
 #   2. cargo build --release  — the workspace compiles with optimizations
 #   3. cargo test -q          — the tier-1 test suite
-#   4. pathix-lint check      — the R1-R6 architectural invariants
+#   4. pathix-lint check      — the R1-R7 architectural invariants
 #      (I/O confinement, determinism, panic-freedom, layering,
-#      concurrency confinement, fault containment; see DESIGN.md
-#      "Statically enforced invariants")
+#      concurrency confinement, fault containment, governor
+#      confinement; see DESIGN.md "Statically enforced invariants")
 #   5. cargo bench --no-run   — criterion benches stay compiling
 #   6. report throughput --fast — throughput smoke (instant disk profile,
 #      small document; does not overwrite BENCH_PR2.json)
@@ -21,6 +21,10 @@
 #      scenario at reduced scale: transient storms heal, permanent
 #      faults abort cleanly, zero wrong answers; does not overwrite
 #      BENCH_PR4.json)
+#   9. report overload --fast — admission-control smoke (open-loop
+#      ramp at reduced scale: deterministic shedding, zero wrong
+#      answers, p99 sim-latency bounded by the hard deadline; does
+#      not overwrite BENCH_PR5.json)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -47,5 +51,8 @@ cargo run -q --release -p pathix-bench --bin report -- scaling --fast
 
 echo "==> chaos smoke (fast mode)"
 cargo run -q --release -p pathix-bench --bin report -- chaos --fast
+
+echo "==> overload smoke (fast mode)"
+cargo run -q --release -p pathix-bench --bin report -- overload --fast
 
 echo "ci: all gates passed"

@@ -14,6 +14,9 @@
 //!              chaos        (not part of `all`; writes BENCH_PR4.json —
 //!                            with --fast: small doc, instant disk
 //!                            profile, fewer fuzz trials, no artifact)
+//!              overload     (not part of `all`; writes BENCH_PR5.json —
+//!                            with --fast: small doc, instant disk
+//!                            profile, short ramp, no artifact)
 //! ```
 
 // Stdout is this binary's output channel.
@@ -312,6 +315,87 @@ fn chaos_report(fast: bool) {
     }
 }
 
+fn overload_report(fast: bool) {
+    let (scale, multiples): (f64, &[u32]) = if fast {
+        (0.01, &[1, 4])
+    } else {
+        (0.05, &pathix_bench::overload::RATE_MULTIPLES[..])
+    };
+    println!("== Overload: governed batch under an open-loop arrival ramp ==");
+    println!(
+        "   batch: Q6'/Q7/Q15-style paths x Simple/XSchedule/XScan{}",
+        if fast {
+            " (fast: instant disk profile, no latency pacing)"
+        } else {
+            ""
+        }
+    );
+    let (rows, deterministic) = pathix_bench::overload::overload_sweep(scale, multiples, fast);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x", r.multiple),
+                r.offered.to_string(),
+                r.admitted_cap.to_string(),
+                r.admitted.to_string(),
+                r.shed.to_string(),
+                r.degraded.to_string(),
+                r.deadline_aborted.to_string(),
+                r.wrong.to_string(),
+                format!("{:.3}", r.p50_sim_ms),
+                format!("{:.3}", r.p99_sim_ms),
+                format!("{:.3}", r.hard_deadline_ms),
+                format!("{:.1}", r.wall_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "rate",
+                "offered",
+                "cap",
+                "admitted",
+                "shed",
+                "degraded",
+                "aborted",
+                "wrong",
+                "p50 sim[ms]",
+                "p99 sim[ms]",
+                "hard dl[ms]",
+                "wall[ms]"
+            ],
+            &table_rows
+        )
+    );
+    assert!(
+        deterministic,
+        "overload ramp outcomes changed between passes"
+    );
+    assert!(
+        rows.iter().all(|r| r.wrong == 0),
+        "an admitted item answered wrongly under overload"
+    );
+    assert!(
+        rows.iter().filter(|r| r.multiple >= 4).all(|r| r.shed > 0),
+        "no shedding at 4x the sustainable rate"
+    );
+    assert!(
+        rows.iter()
+            .all(|r| r.p99_sim_ms <= 2.0 * r.hard_deadline_ms),
+        "p99 sim-latency escaped the hard-deadline bound"
+    );
+    if fast {
+        println!("(fast mode: BENCH_PR5.json not written)");
+    } else {
+        let json = pathix_bench::overload::emit_json(scale, &rows, deterministic);
+        std::fs::write("BENCH_PR5.json", json).expect("write BENCH_PR5.json");
+        println!("wrote BENCH_PR5.json");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut factors: Vec<f64> = SCALING_FACTORS.to_vec();
@@ -531,5 +615,9 @@ fn main() {
     // Not part of `all`: fault-injection robustness sweep.
     if wanted.iter().any(|w| w == "chaos") {
         chaos_report(fast);
+    }
+    // Not part of `all`: admission control + deadlines under overload.
+    if wanted.iter().any(|w| w == "overload") {
+        overload_report(fast);
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod overload;
 pub mod scaling;
 pub mod table;
 pub mod throughput;

@@ -115,6 +115,10 @@ impl Device for PacedDevice {
         self.inner.reset_stats();
     }
 
+    fn park(&mut self) {
+        self.inner.park();
+    }
+
     fn access_trace(&self) -> &[PageId] {
         self.inner.access_trace()
     }

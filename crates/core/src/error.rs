@@ -35,6 +35,22 @@ pub enum ExecError {
         /// Read attempts made before giving up (1 = no retry).
         attempts: u32,
     },
+    /// The query crossed its hard sim-time deadline and was aborted at a
+    /// governor checkpoint (after the soft stage already degraded it into
+    /// fallback mode; see [`crate::governor`]).
+    DeadlineExceeded {
+        /// Physical page reads issued before the abort.
+        page_reads: u64,
+        /// Simulated nanoseconds elapsed from query start to abort.
+        elapsed: u64,
+    },
+    /// The query's [`crate::governor::CancelToken`] fired and the plan was
+    /// wound down cleanly at the next checkpoint.
+    Canceled,
+    /// The admission controller shed this item before execution: the batch
+    /// exceeded the configured admission capacity. Shedding is deterministic
+    /// by batch order.
+    Overloaded,
 }
 
 impl ExecError {
@@ -58,6 +74,19 @@ impl fmt::Display for ExecError {
             }
             ExecError::Io { page, attempts } => {
                 write!(f, "I/O error on page {page} after {attempts} attempt(s)")
+            }
+            ExecError::DeadlineExceeded {
+                page_reads,
+                elapsed,
+            } => {
+                write!(
+                    f,
+                    "hard deadline exceeded after {elapsed} sim-ns ({page_reads} page reads)"
+                )
+            }
+            ExecError::Canceled => write!(f, "query canceled"),
+            ExecError::Overloaded => {
+                write!(f, "shed by admission control: batch over capacity")
             }
         }
     }

@@ -22,6 +22,7 @@
 pub mod concurrent;
 pub mod context;
 pub mod error;
+pub mod governor;
 pub mod instance;
 pub mod multi;
 pub mod ops;
@@ -33,9 +34,15 @@ pub mod server;
 pub use concurrent::{execute_interleaved, ConcurrentRun};
 pub use context::{CostParams, ExecCtx, ExecStats};
 pub use error::ExecError;
+pub use governor::{CancelToken, Deadline, GovernorReport, MemLedger, QueryBudget};
 pub use instance::{Pi, REnd};
 pub use multi::{execute_paths_shared_scan, MultiPathRun};
 pub use optimizer::{Optimizer, PlanEstimate};
-pub use plan::{execute_path, execute_query, Method, PathRun, PlanConfig, QueryRun};
+pub use plan::{
+    execute_path, execute_path_budgeted, execute_query, Method, PathRun, PlanConfig, QueryRun,
+};
 pub use report::ExecReport;
-pub use server::{execute_batch_parallel, BatchRun, WorkerSeed};
+pub use server::{
+    execute_batch_governed, execute_batch_parallel, AdmissionConfig, BatchRun, GovernedBatchRun,
+    WorkerSeed,
+};

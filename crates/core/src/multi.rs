@@ -179,6 +179,7 @@ pub fn execute_paths_shared_scan(
         q_pushes: cx.stats.q_pushes.get(),
         speculative_generated: cx.stats.speculative_generated.get(),
         fallback: false,
+        degraded: false,
     };
     if let Some(e) = store.take_io_error() {
         return Err(ExecError::Io {

@@ -40,9 +40,10 @@ impl UnnestMap {
 impl Operator for UnnestMap {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         loop {
-            // An unrecovered read error aborts the plan: wind down instead
-            // of starting further cursors over the failed store.
-            if cx.store.io_failed() {
+            // Governor checkpoint: an unrecovered read error, a cancel, or a
+            // passed hard deadline aborts the plan — wind down instead of
+            // starting further cursors over the failed store.
+            if cx.interrupted() {
                 self.current = None;
                 return None;
             }

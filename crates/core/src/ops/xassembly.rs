@@ -195,6 +195,13 @@ impl XAssembly {
 impl Operator for XAssembly {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         loop {
+            // Governor checkpoint: a recorded read error, a cancel, or a
+            // passed hard deadline winds the assembly down — the executor
+            // surfaces the cause, so emitting further results is pointless.
+            if cx.interrupted() {
+                self.out.clear();
+                return None;
+            }
             if let Some(pi) = self.out.pop_front() {
                 return Some(pi);
             }

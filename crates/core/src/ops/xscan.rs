@@ -98,9 +98,10 @@ impl Operator for XScan {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         self.materialize_contexts(cx);
         loop {
-            // An unrecovered read error aborts the plan: stop emitting so
-            // the pipeline winds down and the executor can surface it.
-            if cx.store.io_failed() {
+            // Governor checkpoint: an unrecovered read error, a cancel, or a
+            // passed hard deadline aborts the plan — stop emitting so the
+            // pipeline winds down and the executor can surface it.
+            if cx.interrupted() {
                 self.emit.clear();
                 return None;
             }

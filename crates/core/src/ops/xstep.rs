@@ -125,9 +125,10 @@ impl XStep {
 impl Operator for XStep {
     fn next(&mut self, cx: &ExecCtx<'_>) -> Option<Pi> {
         loop {
-            // An unrecovered read error aborts the plan: wind down instead
-            // of extending further instances over the failed store.
-            if cx.store.io_failed() {
+            // Governor checkpoint: an unrecovered read error, a cancel, or a
+            // passed hard deadline aborts the plan — wind down instead of
+            // extending further instances over the failed store.
+            if cx.interrupted() {
                 self.current = None;
                 return None;
             }

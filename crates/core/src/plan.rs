@@ -9,8 +9,9 @@
 //!   (with the `Q` feedback edge),
 //! * **XScan** — `ContextSource → XScan → XStep* → XAssembly`.
 
-use crate::context::{CostParams, ExecCtx};
+use crate::context::{AbortReason, CostParams, ExecCtx};
 use crate::error::ExecError;
+use crate::governor::{MemLedger, QueryBudget};
 use crate::instance::REnd;
 use crate::ops::{
     ContextSource, Operator, SchedShared, UnnestMap, XAssembly, XScan, XSchedule, XStep,
@@ -204,6 +205,42 @@ pub fn execute_path_from(
     contexts: Vec<NodeId>,
     cfg: &PlanConfig,
 ) -> Result<PathRun, ExecError> {
+    run_path(store, path, contexts, cfg, None, None)
+}
+
+/// Executes `path` from the document root under a [`QueryBudget`]: the soft
+/// deadline degrades the plan into §5.4.6 fallback mode, the hard deadline
+/// (or the budget's cancel token) aborts it with a typed error, and S-set
+/// growth is charged to `ledger`, if one is given (batch-wide memory
+/// pressure degrades the query instead of growing S).
+///
+/// Running under [`QueryBudget::unlimited`] and no ledger is behaviorally
+/// identical to [`execute_path`].
+pub fn execute_path_budgeted(
+    store: &TreeStore,
+    path: &LocationPath,
+    cfg: &PlanConfig,
+    budget: &QueryBudget,
+    ledger: Option<&MemLedger>,
+) -> Result<PathRun, ExecError> {
+    run_path(
+        store,
+        path,
+        vec![store.meta.root],
+        cfg,
+        Some(budget),
+        ledger,
+    )
+}
+
+fn run_path(
+    store: &TreeStore,
+    path: &LocationPath,
+    contexts: Vec<NodeId>,
+    cfg: &PlanConfig,
+    budget: Option<&QueryBudget>,
+    ledger: Option<&MemLedger>,
+) -> Result<PathRun, ExecError> {
     let path = if cfg.normalize {
         path.normalize()
     } else {
@@ -211,7 +248,21 @@ pub fn execute_path_from(
     };
     // A recorded I/O error from an earlier aborted run must not bleed in.
     store.clear_io_error();
-    let cx = ExecCtx::new(store, cfg.costs, cfg.mem_limit);
+    let cx = match budget {
+        None => ExecCtx::new(store, cfg.costs, cfg.mem_limit),
+        Some(b) => {
+            let cx = ExecCtx::with_budget(store, cfg.costs, cfg.mem_limit, b, ledger.cloned());
+            // Arm the buffer's governor gate: past the hard deadline no
+            // further device I/O is issued and retry backoff is clamped,
+            // even between operator checkpoints.
+            store.buffer.set_interrupted(false);
+            store.buffer.set_io_deadline(
+                b.deadline
+                    .and_then(|d| cx.governor_t0().map(|t0| t0.saturating_add(d.hard_ns))),
+            );
+            cx
+        }
+    };
     let clock0 = store.clock().breakdown();
     let buf0 = store.buffer.stats();
     let dev0 = store.buffer.device_stats();
@@ -219,6 +270,7 @@ pub fn execute_path_from(
     let mut plan = build_plan(store, &path, contexts, cfg.method);
     let mut nodes: Vec<(NodeId, u64)> = Vec::new();
     let mut dedup: HashSet<NodeId> = HashSet::new();
+    let mut contract_err: Option<ExecError> = None;
     let simple = matches!(cfg.method, Method::Simple);
     while let Some(p) = plan.next(&cx) {
         let (id, order) = match &p.nr {
@@ -233,7 +285,10 @@ pub fn execute_path_from(
                 Some(cluster) => (*id, cluster.node(id.slot).order),
                 None => break, // error recorded; abort below
             },
-            other => return Err(ExecError::unexpected_end("execute_path_from", other)),
+            other => {
+                contract_err = Some(ExecError::unexpected_end("execute_path_from", other));
+                break;
+            }
         };
         if simple {
             // Final duplicate elimination of the Simple method (§5.1).
@@ -246,7 +301,46 @@ pub fn execute_path_from(
     }
     drop(plan);
 
-    if let Some(e) = store.take_io_error() {
+    // Governed epilogue: settle the ledger and disarm the buffer gate on
+    // every exit path, then surface the abort cause (a governor abort wins
+    // over the `Interrupted` I/O error it may have produced at the gate).
+    cx.release_ledger();
+    let recorded_io = store.take_io_error();
+    if budget.is_some() {
+        store.buffer.set_io_deadline(None);
+        store.buffer.set_interrupted(false);
+        let abort = cx.governor_abort().or_else(|| {
+            // The gate refused a read but the plan wound down without
+            // another checkpoint: classify by the budget itself.
+            recorded_io
+                .filter(|e| e.kind == pathix_storage::IoErrorKind::Interrupted)
+                .map(|_| {
+                    if cx.governor_canceled() {
+                        AbortReason::Canceled
+                    } else {
+                        AbortReason::Deadline
+                    }
+                })
+        });
+        if let Some(reason) = abort {
+            store.buffer.drain_inflight();
+            return Err(match reason {
+                AbortReason::Canceled => ExecError::Canceled,
+                AbortReason::Deadline => ExecError::DeadlineExceeded {
+                    page_reads: device_delta(store.buffer.device_stats(), dev0).reads,
+                    elapsed: store
+                        .clock()
+                        .now_ns()
+                        .saturating_sub(cx.governor_t0().unwrap_or(0)),
+                },
+            });
+        }
+    }
+
+    if let Some(e) = contract_err {
+        return Err(e);
+    }
+    if let Some(e) = recorded_io {
         // Clean abort: discard whatever asynchronous reads are still queued
         // so the next run starts from an idle device, then surface the
         // failure as a value.
@@ -284,6 +378,7 @@ pub fn execute_path_from(
         q_pushes: cx.stats.q_pushes.get(),
         speculative_generated: cx.stats.speculative_generated.get(),
         fallback: cx.stats.fallback_entered.get(),
+        degraded: cx.governor_degraded(),
     };
     Ok(PathRun { nodes, report })
 }

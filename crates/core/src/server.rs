@@ -29,9 +29,10 @@
 
 use crate::concurrent::ConcurrentRun;
 use crate::error::ExecError;
-use crate::plan::{execute_path_from, Method, PlanConfig};
+use crate::governor::{GovernorReport, MemLedger, QueryBudget};
+use crate::plan::{execute_path_budgeted, execute_path_from, Method, PlanConfig};
 use crate::report::ExecReport;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use pathix_storage::{BufferParams, Device, SimClock};
 use pathix_tree::{TreeMeta, TreeStore};
 use pathix_xpath::LocationPath;
@@ -166,6 +167,233 @@ pub fn execute_batch_parallel(
         report.absorb(&run.report);
     }
     BatchRun { runs, report }
+}
+
+/// Admission-control knobs for [`execute_batch_governed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionConfig {
+    /// Admitted queries allowed to *execute* concurrently (a semaphore over
+    /// the worker pool). `0` = no cap beyond the worker count.
+    pub max_in_flight: usize,
+    /// Total queries admitted per batch; items beyond this prefix are shed
+    /// with [`ExecError::Overloaded`] — deterministically by batch order,
+    /// before any execution. `None` = admit everything.
+    pub max_admitted: Option<usize>,
+    /// Byte cap of the shared S-set [`MemLedger`]. Pressure *degrades*
+    /// queries (fallback mode), it never sheds them. `None` = no ledger.
+    pub ledger_cap_bytes: Option<u64>,
+}
+
+impl AdmissionConfig {
+    /// Everything admitted, no concurrency cap, no ledger — governance off.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
+
+/// Result of a governed parallel batch.
+pub struct BatchGovernedOutcome {
+    /// Per-item results in batch order; shed items carry
+    /// [`ExecError::Overloaded`], aborted ones
+    /// [`ExecError::DeadlineExceeded`] / [`ExecError::Canceled`].
+    pub runs: Vec<Result<ConcurrentRun, ExecError>>,
+    /// Sum of the successful per-item reports (as in [`BatchRun`]).
+    pub report: ExecReport,
+    /// Batch-level governor tally.
+    pub governor: GovernorReport,
+}
+
+/// Public alias matching the facade naming.
+pub type GovernedBatchRun = BatchGovernedOutcome;
+
+/// Counting semaphore over a [`Mutex`]/[`Condvar`] pair: caps how many
+/// admitted queries execute at once. Confined to this file like every other
+/// concurrency primitive (lint rule R5).
+struct Gate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> GatePermit<'_> {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            permits = self.cv.wait(permits);
+        }
+        *permits -= 1;
+        GatePermit(self)
+    }
+}
+
+/// RAII permit: releasing wakes one waiter.
+struct GatePermit<'a>(&'a Gate);
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        *self.0.permits.lock() += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// [`execute_batch_parallel`] with per-item [`QueryBudget`]s and an
+/// admission controller.
+///
+/// Differences from the ungoverned executor, all in the name of
+/// *deterministic overload behavior*:
+///
+/// * **Shedding is a batch-order prefix.** Items past
+///   `admission.max_admitted` fail with [`ExecError::Overloaded`] before
+///   any execution — never a function of thread timing.
+/// * **Admitted items run cold.** Each item starts from a reset private
+///   buffer, so its simulated timeline — and therefore its deadline
+///   outcome — is a pure function of `(path, method, budget)`, not of
+///   which items a worker ran before it. (Throughput-oriented batches that
+///   want cross-item cache reuse use `execute_batch_parallel`.)
+/// * **S-set growth is accounted** against a shared [`MemLedger`] sized by
+///   `admission.ledger_cap_bytes`; pressure degrades queries into fallback
+///   mode instead of failing them.
+///
+/// `budgets` pairs with `work` by index; missing entries mean
+/// [`QueryBudget::unlimited`]. Panics if `seeds` is empty.
+pub fn execute_batch_governed(
+    seeds: Vec<WorkerSeed>,
+    work: &[(LocationPath, Method)],
+    cfg: &PlanConfig,
+    budgets: &[QueryBudget],
+    admission: &AdmissionConfig,
+) -> GovernedBatchRun {
+    assert!(!seeds.is_empty(), "a batch needs at least one worker");
+    let cfg = *cfg;
+    let admitted_cap = admission.max_admitted.unwrap_or(usize::MAX);
+    let ledger = admission.ledger_cap_bytes.map(MemLedger::new);
+    let gate = Gate::new(if admission.max_in_flight == 0 {
+        seeds.len()
+    } else {
+        admission.max_in_flight
+    });
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<ConcurrentRun, ExecError>>>> =
+        Mutex::new((0..work.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for seed in seeds {
+            let next = &next;
+            let results = &results;
+            let gate = &gate;
+            let ledger = &ledger;
+            let budgets = &budgets;
+            scope.spawn(move || {
+                let body = std::panic::AssertUnwindSafe(|| {
+                    let store = TreeStore::open(
+                        seed.device,
+                        seed.meta,
+                        seed.params,
+                        Rc::new(SimClock::new()),
+                    );
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((path, method)) = work.get(i) else {
+                            break;
+                        };
+                        let out = if i >= admitted_cap {
+                            // Deterministic load shedding: the overflow of
+                            // the admission prefix, independent of timing.
+                            Err(ExecError::Overloaded)
+                        } else {
+                            let budget = budgets.get(i).cloned().unwrap_or_default();
+                            let mut item_cfg = cfg;
+                            item_cfg.method = *method;
+                            // In-flight cap: hold a permit for the whole
+                            // execution of this admitted item.
+                            let _permit = gate.acquire();
+                            // Cold start (see the function docs): the item's
+                            // sim-timeline must not depend on claim order —
+                            // cold buffer, and the device head re-parked so
+                            // seek costs don't inherit the previous item's
+                            // final position.
+                            store.buffer.reset();
+                            store.buffer.device_mut().park();
+                            let item = std::panic::AssertUnwindSafe(|| {
+                                execute_path_budgeted(
+                                    &store,
+                                    path,
+                                    &item_cfg,
+                                    &budget,
+                                    ledger.as_ref(),
+                                )
+                                .map(|run| ConcurrentRun {
+                                    nodes: run.nodes,
+                                    method: method.label().to_owned(),
+                                    report: run.report,
+                                })
+                            });
+                            match std::panic::catch_unwind(item) {
+                                Ok(out) => out,
+                                Err(_) => {
+                                    store.buffer.drain_inflight();
+                                    store.buffer.set_io_deadline(None);
+                                    store.buffer.set_interrupted(false);
+                                    store.clear_io_error();
+                                    Err(ExecError::WorkerLost { item: i })
+                                }
+                            }
+                        };
+                        if let Some(slot) = results.lock().get_mut(i) {
+                            *slot = Some(out);
+                        }
+                    }
+                });
+                let _ = std::panic::catch_unwind(body);
+            });
+        }
+    });
+
+    let mut runs = Vec::with_capacity(work.len());
+    for (i, slot) in results.into_inner().into_iter().enumerate() {
+        runs.push(slot.unwrap_or(Err(ExecError::WorkerLost { item: i })));
+    }
+
+    let mut report = ExecReport {
+        method: "governed".to_owned(),
+        ..Default::default()
+    };
+    let mut governor = GovernorReport {
+        peak_ledger_bytes: ledger.as_ref().map(|l| l.peak()).unwrap_or(0),
+        ..Default::default()
+    };
+    for run in &runs {
+        match run {
+            Ok(r) => {
+                governor.admitted += 1;
+                if r.report.degraded {
+                    governor.degraded += 1;
+                }
+                report.absorb(&r.report);
+            }
+            Err(ExecError::Overloaded) => governor.shed += 1,
+            Err(ExecError::DeadlineExceeded { .. }) => {
+                governor.admitted += 1;
+                governor.deadline_aborted += 1;
+            }
+            Err(ExecError::Canceled) => {
+                governor.admitted += 1;
+                governor.canceled += 1;
+            }
+            Err(_) => governor.admitted += 1,
+        }
+    }
+    GovernedBatchRun {
+        runs,
+        report,
+        governor,
+    }
 }
 
 #[cfg(test)]
@@ -349,5 +577,166 @@ mod tests {
             crate::plan::execute_path_from(&store, &work[1].0, vec![store.meta.root], &item_cfg)
                 .expect("sequential executes");
         assert_eq!(survivor.nodes, seq.nodes, "survivor result intact");
+    }
+
+    /// Plain forks, no shared cache: the governed executor's per-item
+    /// outcomes must be a pure function of `(path, method, budget)`.
+    fn plain_seeds(store: &TreeStore, workers: usize) -> Vec<WorkerSeed> {
+        (0..workers)
+            .map(|_| WorkerSeed {
+                device: store
+                    .buffer
+                    .device_mut()
+                    .try_fork()
+                    .expect("MemDevice forks"),
+                meta: store.meta.clone(),
+                params: store.buffer.params(),
+            })
+            .collect()
+    }
+
+    fn governed_work() -> Vec<(LocationPath, Method)> {
+        vec![
+            (parse_path("//item").unwrap(), Method::Simple),
+            (parse_path("//email").unwrap(), Method::xschedule()),
+            (parse_path("//name").unwrap(), Method::XScan),
+            (parse_path("/regions//item").unwrap(), Method::xschedule()),
+        ]
+    }
+
+    #[test]
+    fn unlimited_budgets_match_ungoverned_batch() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 41 });
+        let work = governed_work();
+        let mut cfg = PlanConfig::new(Method::Simple);
+        cfg.sort = true;
+        let governed = execute_batch_governed(
+            plain_seeds(&store, 2),
+            &work,
+            &cfg,
+            &[],
+            &AdmissionConfig::unlimited(),
+        );
+        let plain = execute_batch_parallel(plain_seeds(&store, 2), &work, &cfg);
+        assert_eq!(governed.runs.len(), plain.runs.len());
+        for (g, p) in governed.runs.iter().zip(&plain.runs) {
+            assert_eq!(
+                g.as_ref().expect("governed item succeeds").nodes,
+                p.as_ref().expect("plain item succeeds").nodes
+            );
+        }
+        assert_eq!(governed.governor.admitted, work.len() as u64);
+        assert_eq!(governed.governor.shed, 0);
+        assert_eq!(governed.governor.degraded, 0);
+        assert_eq!(governed.governor.peak_ledger_bytes, 0);
+    }
+
+    #[test]
+    fn admission_sheds_a_deterministic_prefix_overflow() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 41 });
+        let work = governed_work();
+        let mut cfg = PlanConfig::new(Method::Simple);
+        cfg.sort = true;
+        let admission = AdmissionConfig {
+            max_admitted: Some(2),
+            max_in_flight: 1,
+            ledger_cap_bytes: None,
+        };
+        for _ in 0..3 {
+            let batch =
+                execute_batch_governed(plain_seeds(&store, 3), &work, &cfg, &[], &admission);
+            assert!(batch.runs[0].is_ok());
+            assert!(batch.runs[1].is_ok());
+            assert!(matches!(batch.runs[2], Err(ExecError::Overloaded)));
+            assert!(matches!(batch.runs[3], Err(ExecError::Overloaded)));
+            assert_eq!(batch.governor.admitted, 2);
+            assert_eq!(batch.governor.shed, 2);
+        }
+    }
+
+    #[test]
+    fn tight_hard_deadline_aborts_with_elapsed() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 41 });
+        let work = governed_work();
+        let cfg = PlanConfig::new(Method::Simple);
+        // 1 sim-ns hard deadline: every admitted item aborts.
+        let budgets: Vec<QueryBudget> = work
+            .iter()
+            .map(|_| QueryBudget::with_deadline(0, 1))
+            .collect();
+        let batch = execute_batch_governed(
+            plain_seeds(&store, 2),
+            &work,
+            &cfg,
+            &budgets,
+            &AdmissionConfig::unlimited(),
+        );
+        for run in &batch.runs {
+            match run {
+                Err(ExecError::DeadlineExceeded { elapsed, .. }) => {
+                    assert!(*elapsed >= 1, "abort happened after the deadline");
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        assert_eq!(batch.governor.deadline_aborted, work.len() as u64);
+        assert_eq!(batch.governor.admitted, work.len() as u64);
+    }
+
+    #[test]
+    fn pre_canceled_budget_yields_canceled() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Sequential);
+        let work = vec![(parse_path("//item").unwrap(), Method::xschedule())];
+        let budget = QueryBudget::unlimited();
+        budget.cancel.cancel();
+        let batch = execute_batch_governed(
+            plain_seeds(&store, 1),
+            &work,
+            &PlanConfig::new(Method::Simple),
+            &[budget],
+            &AdmissionConfig::unlimited(),
+        );
+        assert!(matches!(batch.runs[0], Err(ExecError::Canceled)));
+        assert_eq!(batch.governor.canceled, 1);
+    }
+
+    #[test]
+    fn ledger_pressure_degrades_but_answers_stay_correct() {
+        let doc = sample_doc();
+        let store = mem_store(&doc, 256, Placement::Shuffled { seed: 5 });
+        // Shuffled placement parks speculative instances in S; a tiny
+        // ledger forces both items into fallback on their first S insert.
+        let work = vec![
+            (parse_path("//item").unwrap(), Method::XScan),
+            (
+                parse_path("//item/..//name").unwrap(),
+                Method::XSchedule {
+                    k: 10,
+                    speculative: true,
+                },
+            ),
+        ];
+        let mut cfg = PlanConfig::new(Method::XScan);
+        cfg.sort = true;
+        let admission = AdmissionConfig {
+            ledger_cap_bytes: Some(1),
+            ..AdmissionConfig::unlimited()
+        };
+        let batch = execute_batch_governed(plain_seeds(&store, 2), &work, &cfg, &[], &admission);
+        assert_eq!(batch.governor.degraded, 2, "both items degraded");
+        for (i, (path, method)) in work.iter().enumerate() {
+            let run = batch.runs[i].as_ref().expect("degraded items answer");
+            assert!(run.report.degraded);
+            let mut item_cfg = cfg;
+            item_cfg.method = *method;
+            let seq =
+                crate::plan::execute_path_from(&store, path, vec![store.meta.root], &item_cfg)
+                    .expect("sequential executes");
+            assert_eq!(run.nodes, seq.nodes, "degraded answers stay correct");
+        }
     }
 }

@@ -31,8 +31,20 @@
 //! - **R5 — concurrency confinement.** Threading primitives
 //!   (`std::thread`, `parking_lot`, channels, locks, atomics) appear
 //!   only in the storage layer, the batch-executor module
-//!   (`core/src/server.rs`), and the bench harness; the operator hot
-//!   path stays single-threaded (DESIGN §10).
+//!   (`core/src/server.rs`), the governor (`core/src/governor.rs`),
+//!   and the bench harness; the operator hot path stays
+//!   single-threaded (DESIGN §10).
+//! - **R6 — fault containment.** The fault-injection API
+//!   (`FaultDevice`/`FaultPlan`/…) stays below the shared cache
+//!   (storage, the facade, bench, tests); `IoError` is constructed
+//!   only by the storage layer; operators have no error channel
+//!   (`ExecError` never appears inside `ops/`).
+//! - **R7 — governor confinement.** Budget and admission types
+//!   (`QueryBudget`, `CancelToken`, `Deadline`, `MemLedger`,
+//!   `AdmissionConfig`, `GovernorReport`) stay in the governor zone;
+//!   inside `ops/` the buffer's interrupt gate is consulted only at
+//!   the declared checkpoint operators, and deadline logic never
+//!   reads a wall clock (DESIGN §12).
 
 pub mod rules;
 pub mod tokenizer;

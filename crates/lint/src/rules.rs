@@ -1,4 +1,4 @@
-//! The rule engine: per-file checks R1–R6 over the token stream.
+//! The rule engine: per-file checks R1–R7 over the token stream.
 //!
 //! Paths are workspace-relative with `/` separators; rules decide their
 //! applicability purely from the path, so fixtures can exercise any rule
@@ -14,7 +14,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule identifier (`R1`…`R6`).
+    /// Rule identifier (`R1`…`R7`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -70,6 +70,46 @@ fn in_fault_zone(path: &str) -> bool {
         || path == "src/lib.rs"
 }
 
+/// Resource-governor API (R7): budgets, cancellation, and admission
+/// control live in the governor zone — the governor module itself, the
+/// context/plan layer that threads budgets to checkpoints, the batch
+/// executor, the error type, the facade, and the harnesses. Operators
+/// never see a budget: they observe only the buffer's interrupt gate at
+/// the declared checkpoint sites (DESIGN §12).
+const GOVERNOR_IDENTS: &[&str] = &[
+    "QueryBudget",
+    "CancelToken",
+    "Deadline",
+    "MemLedger",
+    "AdmissionConfig",
+    "GovernorReport",
+];
+
+/// Files allowed to reference the governor API (R7).
+fn in_governor_zone(path: &str) -> bool {
+    path == "crates/core/src/governor.rs"
+        || path == "crates/core/src/context.rs"
+        || path == "crates/core/src/plan.rs"
+        || path == "crates/core/src/server.rs"
+        || path == "crates/core/src/error.rs"
+        || path == "crates/core/src/lib.rs"
+        || path == "src/db.rs"
+        || path == "src/lib.rs"
+        || path.starts_with("crates/bench/")
+}
+
+/// Operator files that are declared budget checkpoints (R7, DESIGN §12):
+/// the only `ops/` files that may consult the buffer's interrupt gate.
+/// XStep/XAssembly check in their produce loops, XSchedule/XScan at queue
+/// pops, UnnestMap per context row.
+const CHECKPOINT_FILES: &[&str] = &[
+    "xstep.rs",
+    "xscan.rs",
+    "xschedule.rs",
+    "xassembly.rs",
+    "unnest.rs",
+];
+
 /// Identifiers that indicate threading primitives (R5). `Atomic`-prefixed
 /// identifiers (`AtomicU64`, `AtomicUsize`, …) are matched by prefix.
 const CONCURRENCY_IDENTS: &[&str] = &[
@@ -82,12 +122,15 @@ const CONCURRENCY_IDENTS: &[&str] = &[
 ];
 
 /// Files allowed to use threading primitives (R5): the storage layer
-/// (shared page cache, file device), the batch-executor module, and the
-/// bench harness. Everything else — the operator hot path above all —
-/// stays single-threaded (DESIGN §10).
+/// (shared page cache, file device), the batch-executor module, the
+/// governor (whose cancel tokens and memory ledger are shared across
+/// worker threads by design, DESIGN §12), and the bench harness.
+/// Everything else — the operator hot path above all — stays
+/// single-threaded (DESIGN §10).
 fn in_concurrency_zone(path: &str) -> bool {
     path.starts_with("crates/storage/")
         || path == "crates/core/src/server.rs"
+        || path == "crates/core/src/governor.rs"
         || path.starts_with("crates/bench/")
 }
 
@@ -184,6 +227,10 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     let r6_fault_applies = !in_fault_zone(rel_path);
     let r6_ioerr_applies = !rel_path.starts_with("crates/storage/");
     let r6_exec_applies = rel_path.starts_with("crates/core/src/ops/");
+    let r7_gov_applies = !in_governor_zone(rel_path);
+    let r7_ckpt_applies =
+        rel_path.starts_with("crates/core/src/ops/") && !CHECKPOINT_FILES.contains(&base);
+    let r7_time_applies = rel_path == "crates/core/src/governor.rs";
     let own_crate = crate_of_path(rel_path);
 
     for (i, st) in toks.iter().enumerate() {
@@ -276,8 +323,49 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                         rule: "R5",
                         message: format!(
                             "threading primitive `{id}` outside the concurrency zone \
-                             (storage, core/src/server.rs, bench); the operator hot \
-                             path stays single-threaded"
+                             (storage, core/src/server.rs, core/src/governor.rs, \
+                             bench); the operator hot path stays single-threaded"
+                        ),
+                    });
+                }
+                // R7: governor API confinement.
+                if r7_gov_applies && !is_test(i) && GOVERNOR_IDENTS.contains(&id.as_str()) {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R7",
+                        message: format!(
+                            "governor type `{id}` outside the governor zone \
+                             (core governor/context/plan/server/error/lib, \
+                             src/db.rs, src/lib.rs, bench, tests); operators \
+                             see budgets only through the buffer's interrupt \
+                             gate"
+                        ),
+                    });
+                }
+                // R7: budget checkpoints — only the declared checkpoint
+                // operators may consult the interrupt gate.
+                if r7_ckpt_applies && !is_test(i) && id == "interrupted" {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R7",
+                        message: "interrupt gate consulted outside the declared \
+                                  checkpoint operators (xstep/xscan/xschedule/\
+                                  xassembly/unnest); see DESIGN §12"
+                            .to_owned(),
+                    });
+                }
+                // R7: deadline logic runs on simulated time only.
+                if r7_time_applies && !is_test(i) && (id == "Instant" || id == "SystemTime") {
+                    out.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: st.line,
+                        rule: "R7",
+                        message: format!(
+                            "`{id}` in deadline logic; deadlines are expressed \
+                             in simulated nanoseconds (SimClock) so governed \
+                             runs replay exactly"
                         ),
                     });
                 }
@@ -522,8 +610,45 @@ mod tests {
         // The concurrency zone and tests are allowed.
         assert!(rules_of("crates/storage/src/shared_cache.rs", src).is_empty());
         assert!(rules_of("crates/core/src/server.rs", src).is_empty());
+        assert!(rules_of("crates/core/src/governor.rs", src).is_empty());
         assert!(rules_of("crates/bench/src/scaling.rs", src).is_empty());
         assert!(rules_of("crates/core/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn governor_api_confinement() {
+        let src = "use crate::governor::QueryBudget;\nfn f(b: &QueryBudget) {}";
+        // Operators, the tree layer, and storage must not name budgets.
+        assert!(rules_of("crates/core/src/ops/xstep.rs", src).contains(&"R7"));
+        assert!(rules_of("crates/tree/src/store.rs", src).contains(&"R7"));
+        assert!(rules_of("crates/storage/src/buffer.rs", src).contains(&"R7"));
+        // The governor zone and tests are allowed.
+        assert!(!rules_of("crates/core/src/governor.rs", src).contains(&"R7"));
+        assert!(!rules_of("crates/core/src/context.rs", src).contains(&"R7"));
+        assert!(!rules_of("crates/core/src/server.rs", src).contains(&"R7"));
+        assert!(!rules_of("src/db.rs", src).contains(&"R7"));
+        assert!(!rules_of("crates/bench/src/overload.rs", src).contains(&"R7"));
+        assert!(!rules_of("tests/governor_chaos.rs", src).contains(&"R7"));
+    }
+
+    #[test]
+    fn interrupt_gate_only_at_checkpoints() {
+        let src = "fn f(cx: &C) { if cx.store.interrupted() { return; } }";
+        // Declared checkpoint operators may consult the gate…
+        assert!(!rules_of("crates/core/src/ops/xschedule.rs", src).contains(&"R7"));
+        assert!(!rules_of("crates/core/src/ops/xstep.rs", src).contains(&"R7"));
+        // …other operators may not.
+        assert!(rules_of("crates/core/src/ops/stack.rs", src).contains(&"R7"));
+        // Outside ops/ the checkpoint rule does not apply.
+        assert!(!rules_of("crates/core/src/plan.rs", src).contains(&"R7"));
+    }
+
+    #[test]
+    fn deadline_logic_is_sim_time_only() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+        assert!(rules_of("crates/core/src/governor.rs", src).contains(&"R7"));
+        // Elsewhere wall clocks are R2's business, not R7's.
+        assert!(!rules_of("crates/core/src/plan.rs", src).contains(&"R7"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Golden fixtures: for every rule R1–R6, one snippet that must trip the
+//! Golden fixtures: for every rule R1–R7, one snippet that must trip the
 //! checker and one compliant twin that must pass — plus a self-check that
 //! the real workspace is clean.
 
@@ -339,6 +339,101 @@ fn r6_good_exec_error_in_executor_and_tests() {
     let src = "fn f() -> ExecError { ExecError::WorkerLost { item: 0 } }";
     assert!(!rules_of("crates/core/src/exec.rs", src).contains(&"R6"));
     assert!(!rules_of("crates/core/tests/containment.rs", src).contains(&"R6"));
+}
+
+// ---------------------------------------------------------------- R7 ---
+
+#[test]
+fn r7_bad_budget_in_operator() {
+    let src = r#"
+        use crate::governor::{CancelToken, QueryBudget};
+        fn f(b: &QueryBudget, t: &CancelToken) -> bool {
+            t.is_canceled()
+        }
+    "#;
+    let diags = check_source("crates/core/src/ops/xstep.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R7" && d.line == 2));
+    assert!(diags.iter().any(|d| d.rule == "R7" && d.line == 3));
+}
+
+#[test]
+fn r7_bad_ledger_in_tree_layer() {
+    let src = "fn charge(l: &MemLedger) { l.credit(64); }";
+    assert_eq!(rules_of("crates/tree/src/store.rs", src), vec!["R7"]);
+}
+
+#[test]
+fn r7_good_budget_in_governor_zone() {
+    let src = r#"
+        use crate::governor::{AdmissionConfig, GovernorReport, QueryBudget};
+        fn f(b: &QueryBudget, a: &AdmissionConfig) -> GovernorReport {
+            GovernorReport::default()
+        }
+    "#;
+    for path in [
+        "crates/core/src/governor.rs",
+        "crates/core/src/context.rs",
+        "crates/core/src/plan.rs",
+        "crates/core/src/server.rs",
+        "src/db.rs",
+        "crates/bench/src/overload.rs",
+        "tests/governor_chaos.rs",
+    ] {
+        assert!(
+            !rules_of(path, src).contains(&"R7"),
+            "governor zone path {path} flagged"
+        );
+    }
+}
+
+#[test]
+fn r7_bad_interrupt_gate_outside_checkpoints() {
+    let src = r#"
+        fn f(cx: &ExecCtx<'_>) -> bool {
+            cx.store.interrupted()
+        }
+    "#;
+    let diags = check_source("crates/core/src/ops/stack.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R7" && d.line == 3));
+}
+
+#[test]
+fn r7_good_interrupt_gate_at_checkpoints() {
+    let src = r#"
+        fn f(cx: &ExecCtx<'_>) -> bool {
+            cx.store.interrupted()
+        }
+    "#;
+    for path in [
+        "crates/core/src/ops/xstep.rs",
+        "crates/core/src/ops/xscan.rs",
+        "crates/core/src/ops/xschedule.rs",
+        "crates/core/src/ops/xassembly.rs",
+        "crates/core/src/ops/unnest.rs",
+    ] {
+        assert!(
+            !rules_of(path, src).contains(&"R7"),
+            "checkpoint operator {path} flagged"
+        );
+    }
+}
+
+#[test]
+fn r7_bad_wall_clock_in_deadline_logic() {
+    let src = "use std::time::Instant;\nfn late(t: Instant) -> bool { t.elapsed().as_nanos() > 0 }";
+    let diags = check_source("crates/core/src/governor.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "R7" && d.line == 1));
+    assert!(diags.iter().any(|d| d.rule == "R7" && d.line == 2));
+}
+
+#[test]
+fn r7_good_sim_time_deadline_logic() {
+    let src = r#"
+        fn late(now_ns: u64, deadline_ns: u64) -> bool {
+            now_ns >= deadline_ns
+        }
+    "#;
+    assert!(rules_of("crates/core/src/governor.rs", src).is_empty());
 }
 
 // ------------------------------------------------------- self-check ---

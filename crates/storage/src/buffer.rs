@@ -250,6 +250,12 @@ pub struct BufferManager<T, D> {
     /// Read retries performed by [`Self::try_fix`]; folded into
     /// [`DeviceStats::retries`] by [`Self::device_stats`].
     retries: Cell<u64>,
+    /// Governor gate: when set, misses are refused with
+    /// [`IoErrorKind::Interrupted`] so a canceled query stops issuing I/O.
+    interrupt: Cell<bool>,
+    /// Governor gate: absolute sim-time after which misses are refused and
+    /// retry backoff is not allowed to start (the hard query deadline).
+    io_deadline: Cell<Option<u64>>,
 }
 
 impl<T, D: PageDecoder<T>> BufferManager<T, D> {
@@ -270,7 +276,48 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
             clock,
             stats: RefCell::new(BufferStats::default()),
             retries: Cell::new(0),
+            interrupt: Cell::new(false),
+            io_deadline: Cell::new(None),
         }
+    }
+
+    /// Arms or clears the interrupt gate: while set, cache hits are still
+    /// served but any fix that would touch the device fails fast with
+    /// [`IoErrorKind::Interrupted`], and prefetches are dropped. Set by the
+    /// query governor on cancellation / hard-deadline expiry so a
+    /// winding-down plan stops issuing I/O.
+    pub fn set_interrupted(&self, on: bool) {
+        self.interrupt.set(on);
+    }
+
+    /// Whether the interrupt gate is armed.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt.get()
+    }
+
+    /// Sets (or clears, with `None`) the absolute sim-time I/O deadline:
+    /// past it, misses are refused with [`IoErrorKind::Interrupted`], and a
+    /// retry whose backoff would cross it is not taken — backoff sleeps are
+    /// charged against the query's clock budget instead of being invisible
+    /// to it.
+    pub fn set_io_deadline(&self, deadline_ns: Option<u64>) {
+        self.io_deadline.set(deadline_ns);
+    }
+
+    /// The governor gate: `Some(error)` if a device access for `page` must
+    /// be refused right now (interrupted, or past the I/O deadline).
+    fn io_gate(&self, page: PageId) -> Option<IoError> {
+        if self.interrupt.get() {
+            return Some(IoError::new(page, IoErrorKind::Interrupted));
+        }
+        let over = self
+            .io_deadline
+            .get()
+            .is_some_and(|dl| self.clock.now_ns() >= dl);
+        if over {
+            return Some(IoError::new(page, IoErrorKind::Interrupted));
+        }
+        None
     }
 
     /// Current retry policy.
@@ -347,6 +394,11 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
             self.stats.borrow_mut().hits += 1;
             return Ok(data);
         }
+        // Hits above are free; anything below touches the device and is
+        // refused while the query is interrupted or past its I/O deadline.
+        if let Some(e) = self.io_gate(page) {
+            return Err(e);
+        }
         // Was it prefetched? Then drain completions until it arrives. A
         // failed or torn completion (for this or any other page) is dropped
         // here and the read falls through to the synchronous retry path.
@@ -397,11 +449,16 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
             match outcome {
                 Ok(bytes) => break bytes,
                 Err(mut e) => {
-                    if e.retryable() && attempt < retry.max_attempts {
+                    // Retry backoff counts against the query's deadline: a
+                    // wait that would end past the I/O deadline is not
+                    // taken, so a deadlined query cannot spend unbounded
+                    // sim-time retrying.
+                    let wakes_at = self.clock.now_ns() + retry.backoff_ns(attempt + 1);
+                    let in_budget = self.io_deadline.get().is_none_or(|dl| wakes_at < dl);
+                    if e.retryable() && attempt < retry.max_attempts && in_budget {
                         attempt += 1;
                         self.retries.set(self.retries.get() + 1);
-                        self.clock
-                            .wait_until(self.clock.now_ns() + retry.backoff_ns(attempt));
+                        self.clock.wait_until(wakes_at);
                     } else {
                         e.attempts = attempt;
                         return Err(e);
@@ -418,6 +475,11 @@ impl<T, D: PageDecoder<T>> BufferManager<T, D> {
     /// or in flight.
     pub fn prefetch(&self, page: PageId) {
         if self.frames.borrow().resident(page) || self.submitted.borrow().contains(&page) {
+            return;
+        }
+        // An interrupted/deadlined query must stop issuing I/O: drop the
+        // prefetch silently, like an already-in-flight page.
+        if self.io_gate(page).is_some() {
             return;
         }
         self.stats.borrow_mut().prefetches += 1;
@@ -817,6 +879,57 @@ mod tests {
         assert_eq!(b.in_flight(), 0);
         assert!(!b.is_resident(1), "drained completions are not installed");
         assert_eq!(*b.fix(1), 1);
+    }
+
+    #[test]
+    fn interrupt_gate_serves_hits_but_refuses_misses() {
+        let b = mk_buffer(8, 4);
+        b.fix(0);
+        b.set_interrupted(true);
+        // Hits stay free: wind-down code may still walk cached pages.
+        assert_eq!(*b.try_fix(0).unwrap(), 0);
+        let e = b.try_fix(1).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::Interrupted);
+        // No new I/O: prefetches are dropped.
+        b.prefetch(2);
+        assert_eq!(b.in_flight(), 0);
+        assert_eq!(b.stats().prefetches, 0);
+        b.set_interrupted(false);
+        assert_eq!(*b.try_fix(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn io_deadline_refuses_misses_once_passed() {
+        let b = mk_buffer(8, 4);
+        // Wide enough that the per-fix CPU charge does not cross it.
+        b.set_io_deadline(Some(b.clock().now_ns() + 1_000_000_000));
+        assert_eq!(*b.try_fix(0).unwrap(), 0, "before the deadline: served");
+        b.clock().wait_until(b.clock().now_ns() + 2_000_000_000);
+        let e = b.try_fix(1).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::Interrupted);
+        b.set_io_deadline(None);
+        assert_eq!(*b.try_fix(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn retry_backoff_is_clamped_to_io_deadline() {
+        // Persistent corruption: untimed, the retry loop spends all four
+        // attempts. With a deadline tighter than the first backoff, the
+        // error surfaces after a single attempt and no sim-time is burned
+        // waiting past the deadline.
+        let b = faulty_buffer(vec![
+            FaultRule::new(Some(3), FaultKind::CorruptRead).times(u32::MAX)
+        ]);
+        let dl = b.clock().now_ns() + RetryPolicy::default().backoff_base_ns / 2;
+        b.set_io_deadline(Some(dl));
+        let e = b.try_fix(3).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::Corrupt);
+        assert_eq!(e.attempts, 1, "backoff past the deadline is not taken");
+        assert_eq!(b.device_stats().retries, 0);
+        assert!(
+            b.clock().now_ns() < dl + RetryPolicy::default().backoff_base_ns,
+            "no backoff sleep may run past the deadline"
+        );
     }
 
     #[test]

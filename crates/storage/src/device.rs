@@ -35,6 +35,11 @@ pub enum IoErrorKind {
     /// (torn write, bit rot). Retried — a transient corruption heals,
     /// persistent corruption exhausts the attempt budget.
     Corrupt,
+    /// The read was refused above the device because the requesting query
+    /// was canceled or ran past its hard sim-time deadline (the buffer
+    /// manager's governor gate; see `BufferManager::set_interrupted`).
+    /// Never retried — the query is winding down.
+    Interrupted,
 }
 
 impl fmt::Display for IoErrorKind {
@@ -43,6 +48,7 @@ impl fmt::Display for IoErrorKind {
             IoErrorKind::Transient => write!(f, "transient read error"),
             IoErrorKind::Permanent => write!(f, "permanent read error"),
             IoErrorKind::Corrupt => write!(f, "checksum mismatch"),
+            IoErrorKind::Interrupted => write!(f, "read refused: query deadline/cancel"),
         }
     }
 }
@@ -71,7 +77,7 @@ impl IoError {
 
     /// True if a retry of the read is allowed to succeed.
     pub fn retryable(&self) -> bool {
-        self.kind != IoErrorKind::Permanent
+        matches!(self.kind, IoErrorKind::Transient | IoErrorKind::Corrupt)
     }
 }
 
@@ -213,6 +219,15 @@ pub trait Device {
     /// reproduction to show the page access order of each plan).
     fn set_trace(&mut self, _enabled: bool) {}
 
+    /// Restores the fork-fresh *physical* state — head parked, busy window
+    /// cleared — without touching contents or statistics. The governed
+    /// executor calls this at each item's cold start so an item's
+    /// sim-timeline is a function of the item alone, never of whatever the
+    /// worker served before it. Must only be called with no requests in
+    /// flight. Devices with no positional state need not override the
+    /// default no-op.
+    fn park(&mut self) {}
+
     /// Forks an independent, `Send` view of the same stored pages for use by
     /// a parallel worker: page images are shared by reference count (zero
     /// copies), while queue state, head position, and statistics start
@@ -278,6 +293,10 @@ impl Device for Box<dyn Device + Send> {
     fn try_fork(&self) -> Option<Box<dyn Device + Send>> {
         (**self).try_fork()
     }
+
+    fn park(&mut self) {
+        (**self).park();
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +329,9 @@ mod tests {
         let c = IoError::new(9, IoErrorKind::Corrupt);
         assert!(c.retryable());
         assert!(c.to_string().contains("checksum"));
+        let i = IoError::new(4, IoErrorKind::Interrupted);
+        assert!(!i.retryable(), "a winding-down query must not retry");
+        assert!(i.to_string().contains("refused"));
     }
 
     #[test]

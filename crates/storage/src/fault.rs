@@ -13,7 +13,16 @@
 //! * **permanent read errors** — the access fails deterministically;
 //! * **torn/bit-flipped images** — the read "succeeds" but the returned
 //!   page image is corrupted (detected above by the checksum trailer);
-//! * **latency spikes** — the read succeeds after an extra simulated delay.
+//! * **latency spikes** — the read succeeds after an extra simulated delay;
+//! * **dropped writes** — the write is acknowledged but never reaches the
+//!   platter (the page keeps its old image; an append allocates a zeroed
+//!   page);
+//! * **torn writes** — the write reaches the platter with bit-flipped body
+//!   bytes, so the stored image fails checksum verification on read-back.
+//!
+//! Read rules and write rules are matched independently: a read never
+//! advances a write rule's occurrence count and vice versa, so "fail the
+//! 2nd write of page 7" means writes, not accesses of any kind.
 //!
 //! All randomness (corrupt-bit positions, [`FaultPlan::random`] schedules)
 //! derives from explicit seeds via SplitMix64, preserving the R2
@@ -49,6 +58,21 @@ pub enum FaultKind {
         /// Extra simulated nanoseconds charged to the read.
         extra_ns: u64,
     },
+    /// Silently lose the write: the page keeps its previous image (an
+    /// append still allocates the page, but zero-filled — the platter
+    /// never saw the payload).
+    DroppedWrite,
+    /// Store the write torn: deterministically bit-flipped body bytes with
+    /// the checksum trailer preserved, so read-back verification fails.
+    TornWrite,
+}
+
+impl FaultKind {
+    /// True for kinds that fire on the write path (`write_page` /
+    /// `append_page`) rather than on reads.
+    fn is_write(self) -> bool {
+        matches!(self, FaultKind::DroppedWrite | FaultKind::TornWrite)
+    }
 }
 
 /// One injection rule: which page, when, how often, and what happens.
@@ -100,12 +124,21 @@ pub struct FaultStats {
     pub corrupt: u64,
     /// Latency spikes applied.
     pub latency: u64,
+    /// Writes silently lost.
+    pub dropped_writes: u64,
+    /// Writes stored torn.
+    pub torn_writes: u64,
 }
 
 impl FaultStats {
     /// Total faults injected.
     pub fn total(&self) -> u64 {
-        self.transient + self.permanent + self.corrupt + self.latency
+        self.transient
+            + self.permanent
+            + self.corrupt
+            + self.latency
+            + self.dropped_writes
+            + self.torn_writes
     }
 }
 
@@ -208,14 +241,23 @@ impl FaultPlan {
         inner.stats = FaultStats::default();
     }
 
-    /// Consults the plan for one access of `page`: every matching rule's
-    /// occurrence count advances; the first armed rule fires.
+    /// Consults the plan for one read of `page`: every matching read
+    /// rule's occurrence count advances; the first armed rule fires.
     fn on_access(&self, page: PageId) -> Option<FaultKind> {
+        self.consult(page, false)
+    }
+
+    /// Consults the plan for one write of `page` (write rules only).
+    fn on_write(&self, page: PageId) -> Option<FaultKind> {
+        self.consult(page, true)
+    }
+
+    fn consult(&self, page: PageId, writes: bool) -> Option<FaultKind> {
         let mut inner = self.inner.lock();
         let mut fired: Option<FaultKind> = None;
         let mut fired_idx = None;
         for (i, rule) in inner.rules.iter().enumerate() {
-            if rule.page.is_some_and(|p| p != page) {
+            if rule.kind.is_write() != writes || rule.page.is_some_and(|p| p != page) {
                 continue;
             }
             let st = inner.states[i];
@@ -226,7 +268,7 @@ impl FaultPlan {
         }
         for i in 0..inner.rules.len() {
             let rule = inner.rules[i];
-            if rule.page.is_some_and(|p| p != page) {
+            if rule.kind.is_write() != writes || rule.page.is_some_and(|p| p != page) {
                 continue;
             }
             inner.states[i].seen += 1;
@@ -238,6 +280,8 @@ impl FaultPlan {
                 FaultKind::PermanentRead => inner.stats.permanent += 1,
                 FaultKind::CorruptRead => inner.stats.corrupt += 1,
                 FaultKind::LatencySpike { .. } => inner.stats.latency += 1,
+                FaultKind::DroppedWrite => inner.stats.dropped_writes += 1,
+                FaultKind::TornWrite => inner.stats.torn_writes += 1,
             }
         }
         fired
@@ -264,6 +308,28 @@ impl FaultPlan {
             v[pos] ^= 1 << bit;
         }
         Arc::from(v)
+    }
+
+    /// Deterministic bit flips for a torn write, in place: like
+    /// [`Self::corrupt_image`] but salted by the torn-write occurrence
+    /// count. Images with no body (shorter than the checksum trailer) are
+    /// left untouched.
+    fn tear_image(&self, page: PageId, bytes: &mut [u8]) {
+        let body = bytes.len().saturating_sub(CHECKSUM_LEN);
+        if body == 0 {
+            return;
+        }
+        let (flip_seed, occurrence) = {
+            let inner = self.inner.lock();
+            (inner.flip_seed, inner.stats.torn_writes)
+        };
+        let mut s = flip_seed ^ 0x7E4A_0000 ^ ((page as u64) << 32) ^ occurrence;
+        let flips = 1 + 2 * (splitmix64(&mut s) % 2) as usize;
+        for _ in 0..flips {
+            let pos = (splitmix64(&mut s) % body as u64) as usize;
+            let bit = (splitmix64(&mut s) % 8) as u32;
+            bytes[pos] ^= 1 << bit;
+        }
     }
 }
 
@@ -302,6 +368,8 @@ impl<D: Device> FaultDevice<D> {
                 clock.wait_until(clock.now_ns() + extra_ns);
                 Ok(bytes)
             }
+            // Write kinds never fire on the read path (see `consult`).
+            FaultKind::DroppedWrite | FaultKind::TornWrite => Ok(bytes),
         }
     }
 }
@@ -350,11 +418,30 @@ impl<D: Device> Device for FaultDevice<D> {
     }
 
     fn append_page(&mut self, bytes: Vec<u8>) -> PageId {
-        self.inner.append_page(bytes)
+        // The page id the append will be assigned — write rules targeting
+        // a specific page match against it (e.g. "tear the 3rd WAL frame").
+        let page = self.inner.num_pages();
+        match self.plan.on_write(page) {
+            Some(FaultKind::DroppedWrite) => self.inner.append_page(vec![0; bytes.len()]),
+            Some(FaultKind::TornWrite) => {
+                let mut torn = bytes;
+                self.plan.tear_image(page, &mut torn);
+                self.inner.append_page(torn)
+            }
+            _ => self.inner.append_page(bytes),
+        }
     }
 
     fn write_page(&mut self, page: PageId, bytes: Vec<u8>) {
-        self.inner.write_page(page, bytes);
+        match self.plan.on_write(page) {
+            Some(FaultKind::DroppedWrite) => {} // lost: the old image survives
+            Some(FaultKind::TornWrite) => {
+                let mut torn = bytes;
+                self.plan.tear_image(page, &mut torn);
+                self.inner.write_page(page, torn);
+            }
+            _ => self.inner.write_page(page, bytes),
+        }
     }
 
     fn stats(&self) -> DeviceStats {
@@ -379,6 +466,10 @@ impl<D: Device> Device for FaultDevice<D> {
             inner: fork,
             plan: self.plan.clone(),
         }))
+    }
+
+    fn park(&mut self) {
+        self.inner.park();
     }
 }
 
@@ -509,6 +600,84 @@ mod tests {
         let second = f2.read_sync(0, &clock);
         assert!(first.is_err() && second.is_ok(), "one shot fires once");
         assert_eq!(plan.stats().transient, 1);
+    }
+
+    #[test]
+    fn dropped_write_keeps_the_old_image() {
+        let plan = FaultPlan::new(7, vec![FaultRule::new(Some(0), FaultKind::DroppedWrite)]);
+        let mut d = FaultDevice::new(device_with_pages(2), plan.clone());
+        let clock = SimClock::new();
+        let mut new_image = vec![99u8; 64];
+        seal_page(&mut new_image);
+        d.write_page(0, new_image.clone());
+        assert_eq!(
+            d.read_sync(0, &clock).unwrap()[0],
+            0,
+            "the platter never saw the write"
+        );
+        assert_eq!(plan.stats().dropped_writes, 1);
+        // The rule is spent: the next write lands.
+        d.write_page(0, new_image);
+        assert_eq!(d.read_sync(0, &clock).unwrap()[0], 99);
+    }
+
+    #[test]
+    fn torn_write_is_detectable_on_read_back() {
+        let plan = FaultPlan::new(8, vec![FaultRule::new(Some(1), FaultKind::TornWrite)]);
+        let mut d = FaultDevice::new(device_with_pages(2), plan.clone());
+        let clock = SimClock::new();
+        let mut image = vec![42u8; 64];
+        seal_page(&mut image);
+        d.write_page(1, image.clone());
+        let stored = d.read_sync(1, &clock).unwrap();
+        assert_ne!(&stored[..], &image[..], "image stored torn");
+        assert_eq!(
+            &stored[stored.len() - CHECKSUM_LEN..],
+            &image[image.len() - CHECKSUM_LEN..],
+            "trailer preserved"
+        );
+        assert!(!verify_page(&stored), "tear is detectable");
+        assert_eq!(plan.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn torn_append_matches_the_assigned_page_id() {
+        // A rule for page 3 fires on the append that creates page 3.
+        let plan = FaultPlan::new(9, vec![FaultRule::new(Some(3), FaultKind::TornWrite)]);
+        let mut d = FaultDevice::new(device_with_pages(3), plan.clone());
+        let clock = SimClock::new();
+        let mut image = vec![7u8; 64];
+        seal_page(&mut image);
+        let page = d.append_page(image);
+        assert_eq!(page, 3);
+        assert!(!verify_page(&d.read_sync(3, &clock).unwrap()));
+        assert_eq!(plan.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn read_and_write_rules_do_not_consume_each_other() {
+        // An any-page read rule and an any-page write rule, both armed
+        // after one clean occurrence of their own kind.
+        let plan = FaultPlan::new(
+            10,
+            vec![
+                FaultRule::new(None, FaultKind::TransientRead).after(1),
+                FaultRule::new(None, FaultKind::DroppedWrite).after(1),
+            ],
+        );
+        let mut d = FaultDevice::new(device_with_pages(2), plan.clone());
+        let clock = SimClock::new();
+        let mut image = vec![5u8; 64];
+        seal_page(&mut image);
+        // Interleave: reads must not advance the write rule's window.
+        assert!(d.read_sync(0, &clock).is_ok(), "read #1: skip window");
+        d.write_page(0, image.clone()); // write #1: skip window
+        assert!(d.read_sync(0, &clock).is_err(), "read #2: read rule fires");
+        d.write_page(1, image); // write #2: write rule fires
+        assert_eq!(d.read_sync(1, &clock).unwrap()[0], 1, "write dropped");
+        let stats = plan.stats();
+        assert_eq!((stats.transient, stats.dropped_writes), (1, 1));
+        assert_eq!(stats.total(), 2);
     }
 
     #[test]

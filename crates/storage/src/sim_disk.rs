@@ -618,6 +618,10 @@ impl Device for SimDisk {
         fork.pages = self.pages.clone();
         Some(Box::new(fork))
     }
+
+    fn park(&mut self) {
+        self.park_head();
+    }
 }
 
 /// The original queue implementation, retained verbatim as the oracle for

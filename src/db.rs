@@ -2,9 +2,10 @@
 //! queries with any of the paper's three physical methods.
 
 use pathix_core::{
-    execute_batch_parallel, execute_interleaved, execute_path, execute_paths_shared_scan,
-    execute_query, ConcurrentRun, ExecError, ExecReport, Method, MultiPathRun, Optimizer, PathRun,
-    PlanConfig, PlanEstimate, QueryRun, WorkerSeed,
+    execute_batch_governed, execute_batch_parallel, execute_interleaved, execute_path,
+    execute_paths_shared_scan, execute_query, AdmissionConfig, ConcurrentRun, ExecError,
+    ExecReport, GovernorReport, Method, MultiPathRun, Optimizer, PathRun, PlanConfig, PlanEstimate,
+    QueryBudget, QueryRun, WorkerSeed,
 };
 use pathix_storage::{
     BufferParams, Device, DiskProfile, FaultDevice, FaultPlan, MemDevice, QueuePolicy,
@@ -117,6 +118,21 @@ pub struct ParallelRun {
     pub report: ExecReport,
     /// Shared page cache counters for the whole batch.
     pub cache: SharedPageCacheStats,
+}
+
+/// Result of a governed parallel batch run
+/// (see [`Database::run_parallel_governed`]).
+#[derive(Debug)]
+pub struct GovernedRun {
+    /// One result per work item, in batch order. Shed items carry
+    /// [`ExecError::Overloaded`]; deadline-aborted items carry
+    /// [`ExecError::DeadlineExceeded`]; canceled items
+    /// [`ExecError::Canceled`].
+    pub runs: Vec<Result<ConcurrentRun, ExecError>>,
+    /// Sum of the successful per-item reports.
+    pub report: ExecReport,
+    /// Batch-level governor tallies (admitted / shed / degraded / …).
+    pub governor: GovernorReport,
 }
 
 /// A stored document plus everything needed to query it.
@@ -321,6 +337,50 @@ impl Database {
             runs: batch.runs,
             report: batch.report,
             cache: cache.stats(),
+        })
+    }
+
+    /// Runs a governed parallel batch: each work item carries a
+    /// [`QueryBudget`] (deadline / memory / cancel), and the batch as a
+    /// whole is subject to admission control (`admission`). Budgets are
+    /// matched to work items by batch index; missing entries mean
+    /// "unlimited".
+    ///
+    /// Unlike [`Self::run_parallel`], workers do **not** share a page
+    /// cache: every item starts on a cold private buffer so that its
+    /// simulated timeline — and therefore its deadline outcome — is a
+    /// pure function of the item itself, not of scheduling luck.
+    pub fn run_parallel_governed(
+        &self,
+        work: &[(&str, Method)],
+        cfg: &PlanConfig,
+        workers: usize,
+        budgets: &[QueryBudget],
+        admission: &AdmissionConfig,
+    ) -> Result<GovernedRun, DbError> {
+        let parsed: Vec<(pathix_xpath::LocationPath, Method)> = work
+            .iter()
+            .map(|(p, m)| parse_path(p).map(|x| (x.rooted(), *m)))
+            .collect::<Result<_, _>>()?;
+        let mut seeds = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let fork = self
+                .store
+                .buffer
+                .device_mut()
+                .try_fork()
+                .ok_or(DbError::Unsupported("this device cannot be forked"))?;
+            seeds.push(WorkerSeed {
+                device: fork,
+                meta: self.store.meta.clone(),
+                params: self.store.buffer.params(),
+            });
+        }
+        let batch = execute_batch_governed(seeds, &parsed, cfg, budgets, admission);
+        Ok(GovernedRun {
+            runs: batch.runs,
+            report: batch.report,
+            governor: batch.governor,
         })
     }
 

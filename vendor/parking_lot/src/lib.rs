@@ -4,7 +4,7 @@
 //! returns the guard directly (parking_lot mutexes are not poisonable; we
 //! emulate that by recovering the inner value from a poisoned std mutex).
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
 
 /// Non-poisoning mutex with parking_lot's `lock() -> guard` signature.
 #[derive(Debug, Default)]
@@ -32,6 +32,31 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Non-poisoning condition variable paired with [`Mutex`]. Unlike real
+/// parking_lot (whose `wait` re-locks through an `&mut` guard), this
+/// stand-in uses std's guard-passing style: `wait` consumes the guard and
+/// returns the re-locked one.
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self(StdCondvar::new())
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::Mutex;
@@ -41,6 +66,27 @@ mod tests {
         let m = Mutex::new(41);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use super::Condvar;
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
     }
 
     #[test]
